@@ -1,0 +1,253 @@
+//! PageRank in the subgraph-centric model.
+
+use ebv_bsp::{Subgraph, SubgraphContext, SubgraphProgram};
+use ebv_graph::{Graph, VertexId};
+
+/// Per-vertex PageRank state: the current rank plus the partial contribution
+/// sum accumulated locally during the gather half-step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankValue {
+    /// Current rank of the vertex.
+    pub rank: f64,
+    /// Partial Σ rank(u)/outdeg(u) accumulated from local in-edges.
+    pub partial: f64,
+}
+
+/// Subgraph-centric PageRank, one of the three evaluation applications of
+/// the paper.
+///
+/// Each PageRank iteration takes two supersteps, mirroring the master/mirror
+/// protocol of subgraph-centric frameworks:
+///
+/// 1. **gather** — every worker scans its local edges and accumulates
+///    `rank(u) / outdeg(u)` into the partial sum of the target vertex;
+///    mirrors then send their partials to the vertex's master (one message
+///    per mirror).
+/// 2. **apply + scatter** — the master folds the incoming partials with its
+///    own, applies the PageRank update
+///    `rank = (1 − d)/|V| + d · Σ partials`, and broadcasts the new rank to
+///    its mirrors (one message per mirror).
+///
+/// The per-iteration message count is therefore `2 · (Σ_i |V_i| − |V|)` —
+/// directly proportional to the replication factor, which is exactly the
+/// relationship between Table III and Table IV that the paper points out.
+///
+/// Dangling vertices (out-degree 0) simply stop propagating their mass, the
+/// same convention used by the sequential reference implementation in
+/// [`crate::reference::pagerank_reference`], so the two agree to floating
+/// point tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRank {
+    damping: f64,
+    iterations: usize,
+    num_vertices: usize,
+    out_degrees: Vec<u64>,
+}
+
+impl PageRank {
+    /// Creates a PageRank program for `graph` with the given number of
+    /// iterations and the conventional damping factor 0.85.
+    ///
+    /// The program captures the graph's global out-degree table: a replica
+    /// only knows its local edges, but the rank contribution of a vertex is
+    /// defined by its *global* out-degree.
+    pub fn new(graph: &Graph, iterations: usize) -> Self {
+        PageRank {
+            damping: 0.85,
+            iterations,
+            num_vertices: graph.num_vertices(),
+            out_degrees: graph
+                .vertices()
+                .map(|v| graph.out_degree(v) as u64)
+                .collect(),
+        }
+    }
+
+    /// Overrides the damping factor (default 0.85).
+    pub fn with_damping(mut self, damping: f64) -> Self {
+        self.damping = damping;
+        self
+    }
+
+    /// The configured number of PageRank iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The configured damping factor.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+}
+
+impl SubgraphProgram for PageRank {
+    type Value = PageRankValue;
+    type Message = f64;
+
+    fn name(&self) -> String {
+        "PageRank".to_string()
+    }
+
+    fn initial_value(&self, _vertex: VertexId, _subgraph: &Subgraph) -> PageRankValue {
+        PageRankValue {
+            rank: 1.0 / self.num_vertices as f64,
+            partial: 0.0,
+        }
+    }
+
+    fn run_superstep(
+        &self,
+        ctx: &mut SubgraphContext<'_, PageRankValue, f64>,
+        superstep: usize,
+    ) -> usize {
+        let n = ctx.subgraph().num_vertices();
+        let gather_phase = superstep % 2 == 0;
+        let mut updates = 0usize;
+
+        if gather_phase {
+            // Mirrors first adopt the rank broadcast by the master at the end
+            // of the previous iteration.
+            for local in 0..n {
+                if let Some(&rank) = ctx.messages(local).last() {
+                    let mut value = *ctx.value(local);
+                    value.rank = rank;
+                    ctx.set_value(local, value);
+                }
+            }
+            // Accumulate local contributions along every *owned* local edge
+            // (edge-cut distributions replicate crossing edges; only the
+            // source owner's copy contributes so each edge counts once).
+            let mut partials = vec![0.0f64; n];
+            for edge_index in 0..ctx.subgraph().num_edges() {
+                if !ctx.subgraph().owns_edge(edge_index) {
+                    continue;
+                }
+                let edge = ctx.subgraph().edges()[edge_index];
+                let out_degree = self.out_degrees[edge.src.index()];
+                if out_degree == 0 {
+                    continue;
+                }
+                let (Some(src_local), Some(dst_local)) = (
+                    ctx.subgraph().local_index_of(edge.src),
+                    ctx.subgraph().local_index_of(edge.dst),
+                ) else {
+                    continue;
+                };
+                ctx.add_work(1);
+                let contribution = ctx.value(src_local).rank / out_degree as f64;
+                partials[dst_local] += contribution;
+            }
+            for (local, partial) in partials.into_iter().enumerate() {
+                let mut value = *ctx.value(local);
+                value.partial = partial;
+                ctx.set_value(local, value);
+                updates += 1;
+                // Mirrors ship their partial to the master replica.
+                if !ctx.subgraph().is_master(local) {
+                    ctx.send_to_master(local, partial);
+                }
+            }
+        } else {
+            // Apply phase: masters fold incoming partials and broadcast the
+            // new rank to their mirrors.
+            for local in 0..n {
+                if !ctx.subgraph().is_master(local) {
+                    continue;
+                }
+                let incoming: f64 = ctx.messages(local).iter().sum();
+                let mut value = *ctx.value(local);
+                let total = value.partial + incoming;
+                value.rank = (1.0 - self.damping) / self.num_vertices as f64
+                    + self.damping * total;
+                value.partial = 0.0;
+                ctx.set_value(local, value);
+                ctx.add_work(1);
+                updates += 1;
+                let rank = value.rank;
+                ctx.send_to_mirrors(local, rank);
+            }
+        }
+        updates
+    }
+
+    fn max_supersteps(&self) -> usize {
+        2 * self.iterations
+    }
+
+    fn halt_on_quiescence(&self) -> bool {
+        false
+    }
+}
+
+/// Extracts the plain rank vector from a PageRank outcome.
+pub fn ranks(values: &[PageRankValue]) -> Vec<f64> {
+    values.iter().map(|v| v.rank).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::pagerank_reference;
+    use ebv_bsp::{BspEngine, DistributedGraph};
+    use ebv_graph::generators::{named, GraphGenerator, RmatGenerator};
+    use ebv_partition::{paper_partitioners, EbvPartitioner, Partitioner};
+
+    fn run_pagerank(graph: &Graph, partitioner: &dyn Partitioner, p: usize, iters: usize) -> Vec<f64> {
+        let partition = partitioner.partition(graph, p).unwrap();
+        let dg = DistributedGraph::build(graph, &partition).unwrap();
+        let program = PageRank::new(graph, iters);
+        let outcome = BspEngine::sequential().run(&dg, &program).unwrap();
+        ranks(&outcome.values)
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tolerance: f64, context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < tolerance,
+                "{context}: rank of vertex {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_small_graphs() {
+        for graph in [named::figure1_graph(), named::small_social_graph()] {
+            let expected = pagerank_reference(&graph, 10, 0.85);
+            for partitioner in paper_partitioners() {
+                let got = run_pagerank(&graph, partitioner.as_ref(), 3, 10);
+                assert_close(&got, &expected, 1e-9, &partitioner.name());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_power_law_graph() {
+        let graph = RmatGenerator::new(8, 6).with_seed(9).generate().unwrap();
+        let expected = pagerank_reference(&graph, 8, 0.85);
+        for partitioner in paper_partitioners() {
+            let got = run_pagerank(&graph, partitioner.as_ref(), 4, 8);
+            assert_close(&got, &expected, 1e-9, &partitioner.name());
+        }
+    }
+
+    #[test]
+    fn hub_ranks_highest_in_a_star() {
+        let graph = named::star_graph(20).unwrap();
+        let got = run_pagerank(&graph, &EbvPartitioner::new(), 4, 15);
+        let hub = got[0];
+        for leaf in 1..=20 {
+            assert!(hub > got[leaf], "hub {hub} vs leaf {}", got[leaf]);
+        }
+    }
+
+    #[test]
+    fn iteration_and_damping_accessors() {
+        let graph = named::figure1_graph();
+        let pr = PageRank::new(&graph, 5).with_damping(0.9);
+        assert_eq!(pr.iterations(), 5);
+        assert!((pr.damping() - 0.9).abs() < 1e-12);
+        assert_eq!(pr.max_supersteps(), 10);
+        assert!(!pr.halt_on_quiescence());
+    }
+}

@@ -1,0 +1,142 @@
+//! Sequential reference implementations used as ground truth in tests and
+//! for validating the distributed programs across every partitioner.
+
+use std::collections::VecDeque;
+
+use ebv_graph::{Graph, VertexId};
+
+/// Sequential connected components via union-find, ignoring edge direction.
+/// Returns, for every vertex, the smallest vertex identifier in its
+/// component (the same labelling scheme as
+/// [`ConnectedComponents`](crate::ConnectedComponents)).
+pub fn cc_reference(graph: &Graph) -> Vec<u64> {
+    let n = graph.num_vertices();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cursor = x;
+        while parent[cursor] != root {
+            let next = parent[cursor];
+            parent[cursor] = root;
+            cursor = next;
+        }
+        root
+    }
+
+    for e in graph.edges() {
+        let a = find(&mut parent, e.src.index());
+        let b = find(&mut parent, e.dst.index());
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    // Two passes of path compression toward the minimum root give each
+    // vertex the smallest identifier of its component.
+    let mut labels = vec![0u64; n];
+    for v in 0..n {
+        labels[v] = find(&mut parent, v) as u64;
+    }
+    labels
+}
+
+/// Sequential single-source shortest path with unit edge weights (directed
+/// BFS). Unreachable vertices get [`u64::MAX`], matching
+/// [`SingleSourceShortestPath`](crate::SingleSourceShortestPath).
+pub fn sssp_reference(graph: &Graph, source: VertexId) -> Vec<u64> {
+    let n = graph.num_vertices();
+    let mut distance = vec![u64::MAX; n];
+    if source.index() >= n {
+        return distance;
+    }
+    distance[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = distance[v.index()];
+        for &u in graph.out_neighbors(v) {
+            if distance[u.index()] == u64::MAX {
+                distance[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    distance
+}
+
+/// Sequential PageRank by power iteration with the same conventions as the
+/// distributed [`PageRank`](crate::PageRank) program: uniform initial ranks,
+/// damping factor `damping`, a fixed number of iterations and no dangling
+/// mass redistribution.
+pub fn pagerank_reference(graph: &Graph, iterations: usize, damping: f64) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut ranks = vec![1.0 / n as f64; n];
+    let out_degrees: Vec<u64> = graph.vertices().map(|v| graph.out_degree(v) as u64).collect();
+    for _ in 0..iterations {
+        let mut incoming = vec![0.0f64; n];
+        for v in graph.vertices() {
+            let out_degree = out_degrees[v.index()];
+            if out_degree == 0 {
+                continue;
+            }
+            let contribution = ranks[v.index()] / out_degree as f64;
+            for &u in graph.out_neighbors(v) {
+                incoming[u.index()] += contribution;
+            }
+        }
+        for v in 0..n {
+            ranks[v] = (1.0 - damping) / n as f64 + damping * incoming[v];
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebv_graph::generators::named;
+    use ebv_graph::Graph;
+
+    #[test]
+    fn cc_reference_labels_components_by_minimum() {
+        let g = named::two_triangles();
+        assert_eq!(cc_reference(&g), vec![0, 0, 0, 3, 3, 3]);
+        let g = named::small_social_graph();
+        let labels = cc_reference(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn sssp_reference_on_a_path_and_disconnected_vertices() {
+        let g = named::path_graph(4).unwrap();
+        assert_eq!(sssp_reference(&g, VertexId::new(0)), vec![0, 1, 2, 3]);
+        // Directed: nothing reaches vertex 0 from vertex 3.
+        assert_eq!(
+            sssp_reference(&g, VertexId::new(3)),
+            vec![u64::MAX, u64::MAX, u64::MAX, 0]
+        );
+    }
+
+    #[test]
+    fn pagerank_reference_sums_close_to_one_without_dangling_vertices() {
+        let g = named::cycle_graph(10).unwrap();
+        let ranks = pagerank_reference(&g, 30, 0.85);
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        // Symmetric cycle: every vertex has the same rank.
+        for r in &ranks {
+            assert!((r - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_reference_prefers_high_in_degree_vertices() {
+        let g = Graph::from_edges(vec![(1, 0), (2, 0), (3, 0), (0, 1)]).unwrap();
+        let ranks = pagerank_reference(&g, 20, 0.85);
+        assert!(ranks[0] > ranks[2]);
+        assert!(ranks[0] > ranks[3]);
+    }
+}

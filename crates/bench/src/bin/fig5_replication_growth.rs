@@ -1,0 +1,66 @@
+//! Figure 5 — replication-factor growth curve of EBV with and without the
+//! degree-sum sorting preprocessing.
+//!
+//! For each power-law dataset and each subgraph count in {4, 8, 16, 32},
+//! prints the replication factor after every ~10% of the edges has been
+//! assigned, for EBV-sort and EBV-unsort — the data behind the three panels
+//! of Figure 5.
+
+use ebv_bench::{Dataset, Scale, TextTable};
+use ebv_partition::EbvPartitioner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    let subgraph_counts = [4usize, 8, 16, 32];
+
+    for dataset in Dataset::power_law_sets() {
+        let graph = dataset.generate(scale)?;
+        let mut table = TextTable::new(&format!(
+            "Figure 5 panel: {} — replication factor vs edges processed",
+            dataset.name
+        ));
+        table.headers([
+            "variant",
+            "subgraphs",
+            "10%",
+            "20%",
+            "30%",
+            "40%",
+            "50%",
+            "60%",
+            "70%",
+            "80%",
+            "90%",
+            "100%",
+        ]);
+
+        for &p in &subgraph_counts {
+            for (label, partitioner) in [
+                ("EBV-sort", EbvPartitioner::new().with_trace_samples(10)),
+                (
+                    "EBV-unsort",
+                    EbvPartitioner::new().unsorted().with_trace_samples(10),
+                ),
+            ] {
+                let (_, trace) = partitioner.partition_with_trace(&graph, p)?;
+                let mut row = vec![label.to_string(), p.to_string()];
+                for point in trace.points().iter().take(10) {
+                    row.push(format!("{:.3}", point.replication_factor));
+                }
+                while row.len() < 12 {
+                    row.push(format!("{:.3}", trace.final_replication_factor()));
+                }
+                table.row(row);
+            }
+        }
+        println!("{table}");
+    }
+
+    println!(
+        "Expected shape (paper, Figure 5): EBV-sort ends with a lower replication factor than \
+         EBV-unsort on every power-law graph, the gap widens as the number of subgraphs grows, \
+         and the sorted curves rise sharply at the beginning before flattening (low-degree \
+         edges create almost all vertices early)."
+    );
+    Ok(())
+}

@@ -1,0 +1,204 @@
+//! Shared experiment runner: partition a graph, distribute it, run one of
+//! the paper's applications and collect every statistic the tables and
+//! figures need.
+
+use std::error::Error;
+
+use ebv_algorithms::{ConnectedComponents, PageRank, SingleSourceShortestPath};
+use ebv_bsp::{Breakdown, BspEngine, CostModel, DistributedGraph, ExecutionStats};
+use ebv_graph::{Graph, VertexId};
+use ebv_partition::{PartitionMetrics, PartitionResult, Partitioner};
+
+/// The applications used in the paper's evaluation (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Application {
+    /// Connected Components.
+    ConnectedComponents,
+    /// Single-Source Shortest Path from vertex 0.
+    Sssp,
+    /// PageRank with the given number of iterations.
+    PageRank {
+        /// Number of PageRank iterations (the paper's PR runs a fixed
+        /// iteration count).
+        iterations: usize,
+    },
+}
+
+impl Application {
+    /// The name used in tables and figure captions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Application::ConnectedComponents => "CC",
+            Application::Sssp => "SSSP",
+            Application::PageRank { .. } => "PR",
+        }
+    }
+
+    /// The three applications of Figure 2, with the PageRank iteration count
+    /// used throughout the harness.
+    pub fn figure2_set() -> Vec<Application> {
+        vec![
+            Application::ConnectedComponents,
+            Application::PageRank { iterations: 10 },
+            Application::Sssp,
+        ]
+    }
+
+    /// Runs this application over an already-distributed graph and returns
+    /// the execution counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (non-convergence or invalid configuration).
+    pub fn run(
+        &self,
+        graph: &Graph,
+        distributed: &DistributedGraph,
+    ) -> Result<(ExecutionStats, usize), Box<dyn Error>> {
+        let engine = BspEngine::sequential();
+        match self {
+            Application::ConnectedComponents => {
+                let outcome = engine.run(distributed, &ConnectedComponents::new())?;
+                Ok((outcome.stats, outcome.supersteps))
+            }
+            Application::Sssp => {
+                let outcome =
+                    engine.run(distributed, &SingleSourceShortestPath::new(VertexId::new(0)))?;
+                Ok((outcome.stats, outcome.supersteps))
+            }
+            Application::PageRank { iterations } => {
+                let program = PageRank::new(graph, *iterations);
+                let outcome = engine.run(distributed, &program)?;
+                Ok((outcome.stats, outcome.supersteps))
+            }
+        }
+    }
+}
+
+/// Everything one (graph, partitioner, application, worker-count) experiment
+/// produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Name of the partitioner that produced the distribution.
+    pub partitioner: String,
+    /// Number of workers.
+    pub workers: usize,
+    /// Partition quality metrics (Table III).
+    pub metrics: PartitionMetrics,
+    /// Raw execution counters (Tables IV/V).
+    pub stats: ExecutionStats,
+    /// Modeled time breakdown (Table II, Figures 2–4).
+    pub breakdown: Breakdown,
+    /// Number of supersteps the application executed.
+    pub supersteps: usize,
+}
+
+/// Partitions `graph`, distributes it and runs `application`, returning the
+/// full set of statistics used by the experiment binaries.
+///
+/// # Errors
+///
+/// Propagates partitioning, distribution and engine errors.
+pub fn run_experiment(
+    graph: &Graph,
+    partitioner: &dyn Partitioner,
+    workers: usize,
+    application: Application,
+    cost_model: &CostModel,
+) -> Result<ExperimentResult, Box<dyn Error>> {
+    let partition = partitioner.partition(graph, workers)?;
+    let metrics = PartitionMetrics::compute(graph, &partition)?;
+    let distributed = DistributedGraph::build(graph, &partition)?;
+    let (stats, supersteps) = application.run(graph, &distributed)?;
+    let breakdown = cost_model.breakdown(&stats);
+    Ok(ExperimentResult {
+        partitioner: partitioner.name(),
+        workers,
+        metrics,
+        stats,
+        breakdown,
+        supersteps,
+    })
+}
+
+/// Partitions `graph` and returns the partition plus its quality metrics
+/// (the Table III datapoint), without running any application.
+///
+/// # Errors
+///
+/// Propagates partitioning errors.
+pub fn partition_with_metrics(
+    graph: &Graph,
+    partitioner: &dyn Partitioner,
+    workers: usize,
+) -> Result<(PartitionResult, PartitionMetrics), Box<dyn Error>> {
+    let partition = partitioner.partition(graph, workers)?;
+    let metrics = PartitionMetrics::compute(graph, &partition)?;
+    Ok((partition, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Dataset, Scale};
+    use ebv_partition::{paper_partitioners, EbvPartitioner};
+
+    #[test]
+    fn application_names_and_figure2_set() {
+        assert_eq!(Application::ConnectedComponents.name(), "CC");
+        assert_eq!(Application::Sssp.name(), "SSSP");
+        assert_eq!(Application::PageRank { iterations: 3 }.name(), "PR");
+        assert_eq!(Application::figure2_set().len(), 3);
+    }
+
+    #[test]
+    fn run_experiment_produces_consistent_statistics() {
+        let graph = ebv_graph::generators::named::small_social_graph();
+        let result = run_experiment(
+            &graph,
+            &EbvPartitioner::new(),
+            4,
+            Application::ConnectedComponents,
+            &CostModel::default(),
+        )
+        .unwrap();
+        assert_eq!(result.partitioner, "EBV");
+        assert_eq!(result.workers, 4);
+        assert!(result.metrics.replication_factor >= 1.0);
+        assert!(result.breakdown.execution_time > 0.0);
+        assert_eq!(result.stats.num_supersteps(), result.supersteps);
+    }
+
+    #[test]
+    fn every_partitioner_runs_every_application_on_a_small_dataset() {
+        let graph = Dataset::road().generate(Scale::Small).unwrap();
+        // Trim to something tiny for test speed: use the small social graph
+        // shape of experiments but the real registry road graph for realism.
+        for partitioner in paper_partitioners() {
+            for app in [
+                Application::ConnectedComponents,
+                Application::Sssp,
+                Application::PageRank { iterations: 3 },
+            ] {
+                let result = run_experiment(
+                    &graph,
+                    partitioner.as_ref(),
+                    4,
+                    app,
+                    &CostModel::default(),
+                )
+                .unwrap();
+                assert!(result.supersteps > 0, "{} {:?}", partitioner.name(), app);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_with_metrics_matches_direct_computation() {
+        let graph = Dataset::livejournal_like().generate(Scale::Small).unwrap();
+        let (partition, metrics) =
+            partition_with_metrics(&graph, &EbvPartitioner::new(), 8).unwrap();
+        let recomputed = PartitionMetrics::compute(&graph, &partition).unwrap();
+        assert_eq!(metrics, recomputed);
+    }
+}

@@ -1,0 +1,459 @@
+//! The bulk-synchronous-parallel execution engine.
+
+use ebv_graph::VertexId;
+use ebv_partition::PartitionId;
+
+use crate::error::{BspError, Result};
+use crate::program::{MessageTarget, SubgraphContext, SubgraphProgram};
+use crate::stats::{ExecutionStats, SuperstepStats, WorkerSuperstepStats};
+use crate::subgraph::DistributedGraph;
+
+/// How the workers of a superstep are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Workers run one after another on the calling thread. Deterministic
+    /// and easiest to debug; the statistics are identical to threaded mode.
+    #[default]
+    Sequential,
+    /// Workers of each superstep run on their own OS threads (one thread per
+    /// subgraph, as in the paper's one-worker-per-subgraph deployment).
+    Threaded,
+}
+
+/// The subgraph-centric BSP engine.
+///
+/// The engine drives a [`SubgraphProgram`] over a [`DistributedGraph`]
+/// through the three stages of each superstep described in Section IV-B of
+/// the paper: computation (each worker runs the sequential algorithm on its
+/// subgraph), communication (replica messages are routed between workers)
+/// and synchronization (a barrier). It records the per-worker work and
+/// message counters that the evaluation tables are built from.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_bsp::{BspEngine, DistributedGraph};
+/// use ebv_graph::generators::named;
+/// use ebv_partition::{EbvPartitioner, Partitioner};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = named::two_triangles();
+/// let partition = EbvPartitioner::new().partition(&graph, 2)?;
+/// let distributed = DistributedGraph::build(&graph, &partition)?;
+/// // `ebv-algorithms` provides ready-made programs (CC, SSSP, PageRank).
+/// assert_eq!(distributed.num_workers(), 2);
+/// let _engine = BspEngine::sequential();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BspEngine {
+    mode: ExecutionMode,
+}
+
+/// The result of executing a program: the global per-vertex values (taken
+/// from each vertex's master replica) plus the execution counters.
+#[derive(Debug, Clone)]
+pub struct BspOutcome<V> {
+    /// Final value of every vertex, indexed by vertex id.
+    pub values: Vec<V>,
+    /// Per-superstep, per-worker counters.
+    pub stats: ExecutionStats,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+}
+
+impl BspEngine {
+    /// Creates an engine that runs workers sequentially.
+    pub fn sequential() -> Self {
+        BspEngine {
+            mode: ExecutionMode::Sequential,
+        }
+    }
+
+    /// Creates an engine that runs each worker on its own thread.
+    pub fn threaded() -> Self {
+        BspEngine {
+            mode: ExecutionMode::Threaded,
+        }
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Executes `program` over `distributed` until quiescence (or the
+    /// program's superstep limit for fixed-iteration programs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::DidNotConverge`] when a quiescence-halting program
+    /// exhausts [`SubgraphProgram::max_supersteps`].
+    pub fn run<P: SubgraphProgram>(
+        &self,
+        distributed: &DistributedGraph,
+        program: &P,
+    ) -> Result<BspOutcome<P::Value>> {
+        let num_workers = distributed.num_workers();
+        if num_workers == 0 {
+            return Err(BspError::InvalidParameter {
+                parameter: "distributed",
+                message: "the distributed graph has no workers".to_string(),
+            });
+        }
+
+        // Per-worker local state.
+        let mut values: Vec<Vec<P::Value>> = distributed
+            .subgraphs()
+            .iter()
+            .map(|sg| {
+                sg.vertices()
+                    .iter()
+                    .map(|&v| program.initial_value(v, sg))
+                    .collect()
+            })
+            .collect();
+        let mut inboxes: Vec<Vec<Vec<P::Message>>> = distributed
+            .subgraphs()
+            .iter()
+            .map(|sg| vec![Vec::new(); sg.num_vertices()])
+            .collect();
+
+        let mut stats = ExecutionStats {
+            num_workers,
+            supersteps: Vec::new(),
+        };
+
+        let max_supersteps = program.max_supersteps();
+        let mut converged = false;
+        let mut executed = 0usize;
+
+        for superstep in 0..max_supersteps {
+            // --- Computation stage -------------------------------------------------
+            type WorkerOutput<M> = (Vec<(VertexId, M, MessageTarget)>, u64, usize);
+            let worker_outputs: Vec<WorkerOutput<P::Message>> = match self.mode {
+                ExecutionMode::Sequential => {
+                    let mut outputs = Vec::with_capacity(num_workers);
+                    for (worker, sg) in distributed.subgraphs().iter().enumerate() {
+                        let inbox = std::mem::replace(
+                            &mut inboxes[worker],
+                            vec![Vec::new(); sg.num_vertices()],
+                        );
+                        let mut ctx = SubgraphContext::new(sg, &mut values[worker], &inbox);
+                        program.run_superstep(&mut ctx, superstep);
+                        outputs.push(ctx.finish());
+                    }
+                    outputs
+                }
+                ExecutionMode::Threaded => {
+                    let subgraphs = distributed.subgraphs();
+                    let mut outputs: Vec<Option<WorkerOutput<P::Message>>> =
+                        (0..num_workers).map(|_| None).collect();
+                    std::thread::scope(|scope| {
+                        let mut handles = Vec::with_capacity(num_workers);
+                        for (((sg, values), inbox), output) in subgraphs
+                            .iter()
+                            .zip(values.iter_mut())
+                            .zip(inboxes.iter_mut())
+                            .zip(outputs.iter_mut())
+                        {
+                            handles.push(scope.spawn(move || {
+                                let taken =
+                                    std::mem::replace(inbox, vec![Vec::new(); sg.num_vertices()]);
+                                let mut ctx = SubgraphContext::new(sg, values, &taken);
+                                program.run_superstep(&mut ctx, superstep);
+                                *output = Some(ctx.finish());
+                            }));
+                        }
+                        for handle in handles {
+                            handle.join().expect("worker thread panicked");
+                        }
+                    });
+                    outputs
+                        .into_iter()
+                        .map(|o| o.expect("worker produced output"))
+                        .collect()
+                }
+            };
+
+            // --- Communication stage -----------------------------------------------
+            let mut superstep_stats = SuperstepStats {
+                per_worker: vec![WorkerSuperstepStats::default(); num_workers],
+            };
+            let mut total_messages = 0usize;
+            let mut total_changes = 0usize;
+            for (worker, (outbox, work, changes)) in worker_outputs.into_iter().enumerate() {
+                superstep_stats.per_worker[worker].work = work;
+                superstep_stats.per_worker[worker].updates = changes;
+                total_changes += changes;
+                for (vertex, message, target) in outbox {
+                    let master = distributed.replicas().master_of(vertex);
+                    for &replica in distributed.replicas().replicas_of(vertex) {
+                        if replica.index() == worker {
+                            continue;
+                        }
+                        let deliver = match target {
+                            MessageTarget::AllReplicas => true,
+                            MessageTarget::Master => replica == master,
+                            MessageTarget::Mirrors => replica != master,
+                        };
+                        if !deliver {
+                            continue;
+                        }
+                        let destination = distributed.subgraph(replica);
+                        let local = destination
+                            .local_index_of(vertex)
+                            .expect("replica table lists this partition");
+                        inboxes[replica.index()][local].push(message.clone());
+                        superstep_stats.per_worker[worker].messages_sent += 1;
+                        superstep_stats.per_worker[replica.index()].messages_received += 1;
+                        total_messages += 1;
+                    }
+                }
+            }
+            stats.supersteps.push(superstep_stats);
+            executed = superstep + 1;
+
+            // --- Synchronization stage / convergence check -------------------------
+            if program.halt_on_quiescence() && total_messages == 0 && total_changes == 0 {
+                converged = true;
+                break;
+            }
+        }
+
+        if program.halt_on_quiescence() && !converged {
+            return Err(BspError::DidNotConverge { max_supersteps });
+        }
+
+        // Extract the global result from each vertex's master replica.
+        let global_values: Vec<P::Value> = (0..distributed.num_vertices())
+            .map(|raw| {
+                let v = VertexId::from(raw);
+                let master: PartitionId = distributed.replicas().master_of(v);
+                let sg = distributed.subgraph(master);
+                match sg.local_index_of(v) {
+                    Some(local) => values[master.index()][local].clone(),
+                    // Isolated vertices never appear in a subgraph; report
+                    // their initial value.
+                    None => program.initial_value(v, sg),
+                }
+            })
+            .collect();
+
+        Ok(BspOutcome {
+            values: global_values,
+            stats,
+            supersteps: executed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::SubgraphContext;
+    use crate::subgraph::Subgraph;
+    use ebv_graph::generators::named;
+    use ebv_graph::{Graph, VertexId};
+    use ebv_partition::{EbvPartitioner, Partitioner};
+
+    /// Minimal test program: propagate the minimum vertex id over the graph
+    /// (a toy connected-components kernel defined inline so the engine can
+    /// be tested without depending on `ebv-algorithms`).
+    struct MinLabel;
+
+    impl SubgraphProgram for MinLabel {
+        type Value = u64;
+        type Message = u64;
+
+        fn name(&self) -> String {
+            "min-label".to_string()
+        }
+
+        fn initial_value(&self, vertex: VertexId, _subgraph: &Subgraph) -> u64 {
+            vertex.raw()
+        }
+
+        fn run_superstep(
+            &self,
+            ctx: &mut SubgraphContext<'_, u64, u64>,
+            _superstep: usize,
+        ) -> usize {
+            let n = ctx.subgraph().num_vertices();
+            // Merge incoming replica values.
+            let mut changed: Vec<bool> = vec![false; n];
+            for i in 0..n {
+                let incoming_min = ctx.messages(i).iter().copied().min();
+                if let Some(m) = incoming_min {
+                    if m < *ctx.value(i) {
+                        ctx.set_value(i, m);
+                        changed[i] = true;
+                    }
+                }
+            }
+            // Local propagation until fixpoint.
+            loop {
+                let mut any = false;
+                for e in 0..ctx.subgraph().num_edges() {
+                    let edge = ctx.subgraph().edges()[e];
+                    let (Some(s), Some(d)) = (
+                        ctx.subgraph().local_index_of(edge.src),
+                        ctx.subgraph().local_index_of(edge.dst),
+                    ) else {
+                        continue;
+                    };
+                    ctx.add_work(1);
+                    let sv = *ctx.value(s);
+                    let dv = *ctx.value(d);
+                    let min = sv.min(dv);
+                    if sv > min {
+                        ctx.set_value(s, min);
+                        changed[s] = true;
+                        any = true;
+                    }
+                    if dv > min {
+                        ctx.set_value(d, min);
+                        changed[d] = true;
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+            // Ship changed boundary values to the other replicas.
+            for i in 0..n {
+                if changed[i] {
+                    let value = *ctx.value(i);
+                    ctx.send_to_replicas(i, value);
+                }
+            }
+            changed.iter().filter(|&&c| c).count()
+        }
+    }
+
+    fn run_min_label(graph: &Graph, p: usize, engine: BspEngine) -> BspOutcome<u64> {
+        let partition = EbvPartitioner::new().partition(graph, p).unwrap();
+        let dg = DistributedGraph::build(graph, &partition).unwrap();
+        engine.run(&dg, &MinLabel).unwrap()
+    }
+
+    #[test]
+    fn min_label_converges_on_two_triangles() {
+        let g = named::two_triangles();
+        let outcome = run_min_label(&g, 2, BspEngine::sequential());
+        assert_eq!(outcome.values, vec![0, 0, 0, 3, 3, 3]);
+        assert!(outcome.supersteps >= 1);
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let g = named::small_social_graph();
+        let seq = run_min_label(&g, 4, BspEngine::sequential());
+        let thr = run_min_label(&g, 4, BspEngine::threaded());
+        assert_eq!(seq.values, thr.values);
+        assert_eq!(seq.stats.total_messages(), thr.stats.total_messages());
+        assert_eq!(seq.supersteps, thr.supersteps);
+        assert_eq!(BspEngine::threaded().mode(), ExecutionMode::Threaded);
+    }
+
+    #[test]
+    fn single_worker_sends_no_messages() {
+        let g = named::two_triangles();
+        let outcome = run_min_label(&g, 1, BspEngine::sequential());
+        assert_eq!(outcome.stats.total_messages(), 0);
+        assert_eq!(outcome.values, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn stats_record_work_and_messages() {
+        let g = named::small_social_graph();
+        let outcome = run_min_label(&g, 4, BspEngine::sequential());
+        assert!(outcome.stats.total_work() > 0);
+        assert!(outcome.stats.total_messages() > 0);
+        assert_eq!(outcome.stats.num_workers, 4);
+        assert_eq!(outcome.stats.num_supersteps(), outcome.supersteps);
+    }
+
+    /// A program that never converges must hit the superstep limit.
+    struct NeverConverges;
+
+    impl SubgraphProgram for NeverConverges {
+        type Value = u64;
+        type Message = u64;
+
+        fn name(&self) -> String {
+            "never".to_string()
+        }
+
+        fn initial_value(&self, _vertex: VertexId, _subgraph: &Subgraph) -> u64 {
+            0
+        }
+
+        fn run_superstep(
+            &self,
+            ctx: &mut SubgraphContext<'_, u64, u64>,
+            superstep: usize,
+        ) -> usize {
+            ctx.set_value(0, superstep as u64);
+            1
+        }
+
+        fn max_supersteps(&self) -> usize {
+            5
+        }
+    }
+
+    #[test]
+    fn non_convergence_is_reported() {
+        let g = named::two_triangles();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let err = BspEngine::sequential().run(&dg, &NeverConverges).unwrap_err();
+        assert!(matches!(err, BspError::DidNotConverge { max_supersteps: 5 }));
+    }
+
+    /// A fixed-iteration program runs exactly `max_supersteps` supersteps.
+    struct FixedIterations;
+
+    impl SubgraphProgram for FixedIterations {
+        type Value = u64;
+        type Message = u64;
+
+        fn name(&self) -> String {
+            "fixed".to_string()
+        }
+
+        fn initial_value(&self, _vertex: VertexId, _subgraph: &Subgraph) -> u64 {
+            0
+        }
+
+        fn run_superstep(
+            &self,
+            ctx: &mut SubgraphContext<'_, u64, u64>,
+            _superstep: usize,
+        ) -> usize {
+            let current = *ctx.value(0);
+            ctx.set_value(0, current + 1);
+            1
+        }
+
+        fn max_supersteps(&self) -> usize {
+            7
+        }
+
+        fn halt_on_quiescence(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn fixed_iteration_programs_run_to_their_limit() {
+        let g = named::two_triangles();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let outcome = BspEngine::sequential().run(&dg, &FixedIterations).unwrap();
+        assert_eq!(outcome.supersteps, 7);
+    }
+}

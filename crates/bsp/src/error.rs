@@ -1,0 +1,116 @@
+//! Error type for the subgraph-centric BSP engine.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use ebv_graph::GraphError;
+use ebv_partition::PartitionError;
+
+/// Errors produced while building distributed graphs or executing programs.
+#[derive(Debug)]
+pub enum BspError {
+    /// The partition result does not match the graph being distributed.
+    PartitionMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// An engine or program was configured with an invalid parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// A program exceeded its superstep limit without converging.
+    DidNotConverge {
+        /// The superstep limit that was hit.
+        max_supersteps: usize,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+    /// An error bubbled up from the partitioning layer.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for BspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BspError::PartitionMismatch { message } => {
+                write!(f, "partition does not match graph: {message}")
+            }
+            BspError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            BspError::DidNotConverge { max_supersteps } => {
+                write!(f, "program did not converge within {max_supersteps} supersteps")
+            }
+            BspError::Graph(err) => write!(f, "graph error: {err}"),
+            BspError::Partition(err) => write!(f, "partition error: {err}"),
+        }
+    }
+}
+
+impl StdError for BspError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            BspError::Graph(err) => Some(err),
+            BspError::Partition(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BspError {
+    fn from(err: GraphError) -> Self {
+        BspError::Graph(err)
+    }
+}
+
+impl From<PartitionError> for BspError {
+    fn from(err: PartitionError) -> Self {
+        BspError::Partition(err)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        assert!(BspError::PartitionMismatch {
+            message: "edge count".into()
+        }
+        .to_string()
+        .contains("does not match"));
+        assert!(BspError::DidNotConverge { max_supersteps: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(BspError::InvalidParameter {
+            parameter: "workers",
+            message: "zero".into()
+        }
+        .to_string()
+        .contains("workers"));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_sources() {
+        let e = BspError::from(GraphError::EmptyGraph);
+        assert!(e.source().is_some());
+        let e = BspError::from(PartitionError::InvalidPartitionCount {
+            requested: 0,
+            message: "zero".into(),
+        });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BspError>();
+    }
+}

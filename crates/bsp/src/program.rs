@@ -1,0 +1,211 @@
+//! The subgraph-centric programming interface ("think like a graph").
+
+use ebv_graph::VertexId;
+
+use crate::subgraph::Subgraph;
+
+/// Where a replica message should be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageTarget {
+    /// Every other replica of the vertex (mirror-to-mirror broadcast).
+    AllReplicas,
+    /// Only the master replica of the vertex (the gather direction of a
+    /// master/mirror protocol, e.g. PageRank partial sums).
+    Master,
+    /// Every mirror of the vertex (the scatter direction of a master/mirror
+    /// protocol, e.g. broadcasting the new rank).
+    Mirrors,
+}
+
+/// Per-superstep execution context handed to a [`SubgraphProgram`] for one
+/// worker.
+///
+/// The context exposes the worker's local [`Subgraph`], the mutable local
+/// vertex values, the messages received from other replicas at the end of
+/// the previous superstep, and an outbox for messages to be delivered to the
+/// other replicas of local vertices. It also accumulates the *work units*
+/// (edge traversals) the program performs, which feed the deterministic cost
+/// model used to reproduce the paper's execution-time figures.
+#[derive(Debug)]
+pub struct SubgraphContext<'a, V, M> {
+    subgraph: &'a Subgraph,
+    values: &'a mut [V],
+    incoming: &'a [Vec<M>],
+    outbox: Vec<(VertexId, M, MessageTarget)>,
+    work: u64,
+    changes: usize,
+}
+
+impl<'a, V, M> SubgraphContext<'a, V, M> {
+    pub(crate) fn new(subgraph: &'a Subgraph, values: &'a mut [V], incoming: &'a [Vec<M>]) -> Self {
+        SubgraphContext {
+            subgraph,
+            values,
+            incoming,
+            outbox: Vec::new(),
+            work: 0,
+            changes: 0,
+        }
+    }
+
+    /// The worker's local subgraph.
+    pub fn subgraph(&self) -> &Subgraph {
+        self.subgraph
+    }
+
+    /// The value of the local vertex at `local_index`.
+    pub fn value(&self, local_index: usize) -> &V {
+        &self.values[local_index]
+    }
+
+    /// All local values, indexed by local vertex index.
+    pub fn values(&self) -> &[V] {
+        self.values
+    }
+
+    /// Overwrites the value of the local vertex at `local_index` and counts
+    /// it as a change for convergence detection.
+    pub fn set_value(&mut self, local_index: usize, value: V) {
+        self.values[local_index] = value;
+        self.changes += 1;
+    }
+
+    /// The messages delivered to the local vertex at `local_index` during
+    /// the previous communication stage.
+    pub fn messages(&self, local_index: usize) -> &[M] {
+        &self.incoming[local_index]
+    }
+
+    /// Queues a message for delivery to every *other* replica of the local
+    /// vertex at `local_index` during the communication stage.
+    pub fn send_to_replicas(&mut self, local_index: usize, message: M) {
+        self.outbox.push((
+            self.subgraph.vertex_at(local_index),
+            message,
+            MessageTarget::AllReplicas,
+        ));
+    }
+
+    /// Queues a message for the *master* replica of the local vertex at
+    /// `local_index` (a no-op at routing time if this worker already is the
+    /// master).
+    pub fn send_to_master(&mut self, local_index: usize, message: M) {
+        self.outbox.push((
+            self.subgraph.vertex_at(local_index),
+            message,
+            MessageTarget::Master,
+        ));
+    }
+
+    /// Queues a message for every *mirror* replica of the local vertex at
+    /// `local_index`.
+    pub fn send_to_mirrors(&mut self, local_index: usize, message: M) {
+        self.outbox.push((
+            self.subgraph.vertex_at(local_index),
+            message,
+            MessageTarget::Mirrors,
+        ));
+    }
+
+    /// Records `units` of computational work (typically edge traversals);
+    /// used by the cost model for the comp/comm breakdown of Table II.
+    pub fn add_work(&mut self, units: u64) {
+        self.work += units;
+    }
+
+    /// Number of changes recorded so far via [`SubgraphContext::set_value`].
+    pub fn changes(&self) -> usize {
+        self.changes
+    }
+
+    pub(crate) fn finish(self) -> (Vec<(VertexId, M, MessageTarget)>, u64, usize) {
+        (self.outbox, self.work, self.changes)
+    }
+}
+
+/// A subgraph-centric BSP program.
+///
+/// In every superstep each worker runs [`SubgraphProgram::run_superstep`]
+/// over its entire subgraph (the computation stage), then the engine routes
+/// the queued replica messages (the communication stage) and waits for all
+/// workers (the synchronization stage). The program is generic over the
+/// vertex value type and the replica-message type.
+pub trait SubgraphProgram: Sync {
+    /// Per-vertex state.
+    type Value: Clone + Send + Sync + std::fmt::Debug;
+    /// Message exchanged between replicas of the same vertex.
+    type Message: Clone + Send + Sync + std::fmt::Debug;
+
+    /// A short name used in reports (e.g. `"CC"`, `"PageRank"`).
+    fn name(&self) -> String;
+
+    /// The initial value of `vertex` (called once per local replica).
+    fn initial_value(&self, vertex: VertexId, subgraph: &Subgraph) -> Self::Value;
+
+    /// Runs the sequential algorithm over one subgraph for one superstep and
+    /// returns the number of local vertex updates it performed.
+    fn run_superstep(
+        &self,
+        ctx: &mut SubgraphContext<'_, Self::Value, Self::Message>,
+        superstep: usize,
+    ) -> usize;
+
+    /// Upper bound on the number of supersteps (default 10 000).
+    fn max_supersteps(&self) -> usize {
+        10_000
+    }
+
+    /// Whether the engine should stop as soon as a superstep produces no
+    /// messages and no value changes (default `true`; fixed-iteration
+    /// programs such as PageRank return `false`).
+    fn halt_on_quiescence(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subgraph::DistributedGraph;
+    use ebv_graph::Graph;
+    use ebv_partition::{EbvPartitioner, Partitioner};
+
+    #[test]
+    fn context_tracks_values_messages_work_and_outbox() {
+        let g = Graph::from_edges(vec![(0, 1), (1, 2)]).unwrap();
+        let partition = EbvPartitioner::new().partition(&g, 1).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let sg = dg.subgraph(ebv_partition::PartitionId::new(0));
+
+        let mut values = vec![10u64; sg.num_vertices()];
+        let incoming: Vec<Vec<u64>> = vec![vec![7], vec![], vec![]];
+        let mut ctx: SubgraphContext<'_, u64, u64> =
+            SubgraphContext::new(sg, &mut values, &incoming);
+
+        assert_eq!(*ctx.value(0), 10);
+        assert_eq!(ctx.messages(0), &[7]);
+        assert_eq!(ctx.messages(1), &[] as &[u64]);
+        ctx.set_value(1, 42);
+        assert_eq!(ctx.values()[1], 42);
+        assert_eq!(ctx.changes(), 1);
+        ctx.add_work(5);
+        ctx.send_to_replicas(0, 99);
+        ctx.send_to_master(1, 7);
+        ctx.send_to_mirrors(2, 3);
+        let vertex0 = ctx.subgraph().vertex_at(0);
+        let vertex1 = ctx.subgraph().vertex_at(1);
+        let vertex2 = ctx.subgraph().vertex_at(2);
+
+        let (outbox, work, changes) = ctx.finish();
+        assert_eq!(
+            outbox,
+            vec![
+                (vertex0, 99, MessageTarget::AllReplicas),
+                (vertex1, 7, MessageTarget::Master),
+                (vertex2, 3, MessageTarget::Mirrors),
+            ]
+        );
+        assert_eq!(work, 5);
+        assert_eq!(changes, 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! Distributed-graph construction: turning a partition result into the
+//! per-worker subgraphs (with master/mirror vertex replicas) that the BSP
+//! engine executes on.
+
+use std::collections::HashMap;
+
+use ebv_graph::{Edge, Graph, VertexId};
+use ebv_partition::{PartitionId, PartitionResult};
+
+use crate::error::{BspError, Result};
+
+/// The local graph held by one worker.
+///
+/// A subgraph contains the edges assigned to its partition plus every vertex
+/// those edges touch. Vertices present in several subgraphs are *replicated*;
+/// exactly one replica is the **master** (owner) and the others are
+/// **mirrors**. Communication in the subgraph-centric BSP model happens only
+/// between replicas of the same vertex (Section IV-B of the paper).
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    part: PartitionId,
+    edges: Vec<Edge>,
+    /// Whether this worker *owns* the corresponding local edge. Vertex-cut
+    /// distributions own every local edge; edge-cut distributions replicate
+    /// crossing edges in both endpoint partitions but only the source
+    /// owner's copy is owned, so that sum-style programs (PageRank) count
+    /// each edge exactly once.
+    owns_edge: Vec<bool>,
+    vertices: Vec<VertexId>,
+    local_index: HashMap<VertexId, usize>,
+    is_master: Vec<bool>,
+    /// Local adjacency: out-neighbours by local index.
+    out_neighbors: Vec<Vec<usize>>,
+    /// Local adjacency: in-neighbours by local index.
+    in_neighbors: Vec<Vec<usize>>,
+}
+
+impl Subgraph {
+    fn build(
+        part: PartitionId,
+        edges: Vec<Edge>,
+        owns_edge: Vec<bool>,
+        isolated: &[VertexId],
+        masters: &[PartitionId],
+    ) -> Self {
+        let mut vertices: Vec<VertexId> = Vec::new();
+        let mut local_index: HashMap<VertexId, usize> = HashMap::new();
+        for e in &edges {
+            for v in [e.src, e.dst] {
+                local_index.entry(v).or_insert_with(|| {
+                    vertices.push(v);
+                    vertices.len() - 1
+                });
+            }
+        }
+        for &v in isolated {
+            local_index.entry(v).or_insert_with(|| {
+                vertices.push(v);
+                vertices.len() - 1
+            });
+        }
+        let is_master = vertices
+            .iter()
+            .map(|v| masters[v.index()] == part)
+            .collect();
+        let mut out_neighbors = vec![Vec::new(); vertices.len()];
+        let mut in_neighbors = vec![Vec::new(); vertices.len()];
+        for e in &edges {
+            let s = local_index[&e.src];
+            let d = local_index[&e.dst];
+            out_neighbors[s].push(d);
+            in_neighbors[d].push(s);
+        }
+        Subgraph {
+            part,
+            edges,
+            owns_edge,
+            vertices,
+            local_index,
+            is_master,
+            out_neighbors,
+            in_neighbors,
+        }
+    }
+
+    /// The partition (worker) this subgraph belongs to.
+    pub fn part(&self) -> PartitionId {
+        self.part
+    }
+
+    /// The edges local to this subgraph.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Whether this worker owns the local edge at `edge_index` (see the
+    /// field documentation: always `true` for vertex-cut distributions,
+    /// `true` only in the source owner's partition for replicated edge-cut
+    /// edges). Programs that aggregate per-edge quantities (e.g. PageRank
+    /// contributions) must restrict themselves to owned edges.
+    pub fn owns_edge(&self, edge_index: usize) -> bool {
+        self.owns_edge[edge_index]
+    }
+
+    /// Number of local edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All local vertices (masters and mirrors), in local-index order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Number of local vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The local index of a vertex, if it is present in this subgraph.
+    pub fn local_index_of(&self, v: VertexId) -> Option<usize> {
+        self.local_index.get(&v).copied()
+    }
+
+    /// The global identifier of the vertex at `local_index`.
+    pub fn vertex_at(&self, local_index: usize) -> VertexId {
+        self.vertices[local_index]
+    }
+
+    /// Whether the vertex at `local_index` is mastered by this subgraph.
+    pub fn is_master(&self, local_index: usize) -> bool {
+        self.is_master[local_index]
+    }
+
+    /// Local indices of the out-neighbours of the vertex at `local_index`.
+    pub fn out_neighbors(&self, local_index: usize) -> &[usize] {
+        &self.out_neighbors[local_index]
+    }
+
+    /// Local indices of the in-neighbours of the vertex at `local_index`.
+    pub fn in_neighbors(&self, local_index: usize) -> &[usize] {
+        &self.in_neighbors[local_index]
+    }
+
+    /// Iterator over the local indices of master vertices.
+    pub fn master_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_vertices()).filter(|&i| self.is_master[i])
+    }
+}
+
+/// Replica bookkeeping shared by all workers: which partitions hold each
+/// vertex and which one is the master.
+#[derive(Debug, Clone)]
+pub struct ReplicaTable {
+    master: Vec<PartitionId>,
+    replicas: Vec<Vec<PartitionId>>,
+}
+
+impl ReplicaTable {
+    /// The master partition of vertex `v`.
+    pub fn master_of(&self, v: VertexId) -> PartitionId {
+        self.master[v.index()]
+    }
+
+    /// Every partition holding a replica of `v` (including the master), in
+    /// increasing partition order.
+    pub fn replicas_of(&self, v: VertexId) -> &[PartitionId] {
+        &self.replicas[v.index()]
+    }
+
+    /// Number of replicas of `v`.
+    pub fn replica_count(&self, v: VertexId) -> usize {
+        self.replicas[v.index()].len()
+    }
+
+    /// Total number of replicas across all vertices (`Σ_i |V_i|`).
+    pub fn total_replicas(&self) -> usize {
+        self.replicas.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// A graph distributed over `p` workers: the per-worker subgraphs plus the
+/// replica table used for routing messages.
+#[derive(Debug, Clone)]
+pub struct DistributedGraph {
+    subgraphs: Vec<Subgraph>,
+    replicas: ReplicaTable,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+impl DistributedGraph {
+    /// Distributes `graph` according to `partition`.
+    ///
+    /// For vertex-cut results each partition receives exactly the edges
+    /// assigned to it; the master replica of a vertex is the partition
+    /// holding the most of its incident edges (ties toward the lower
+    /// partition id). For edge-cut results each partition owns its assigned
+    /// vertices (which become masters) and holds every edge incident to
+    /// them, so crossing edges appear in both endpoint partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::PartitionMismatch`] when `partition` does not
+    /// describe `graph`.
+    pub fn build(graph: &Graph, partition: &PartitionResult) -> Result<Self> {
+        partition
+            .validate(graph)
+            .map_err(|e| BspError::PartitionMismatch {
+                message: e.to_string(),
+            })?;
+        let p = partition.num_partitions();
+        let n = graph.num_vertices();
+
+        // Edge lists per partition, with the ownership flag used by
+        // sum-style programs.
+        let mut edges_per_part: Vec<Vec<Edge>> = vec![Vec::new(); p];
+        let mut owned_per_part: Vec<Vec<bool>> = vec![Vec::new(); p];
+        match partition {
+            PartitionResult::VertexCut(vc) => {
+                for (edge, part) in graph.edges().iter().zip(vc.assignment()) {
+                    edges_per_part[part.index()].push(*edge);
+                    owned_per_part[part.index()].push(true);
+                }
+            }
+            PartitionResult::EdgeCut(ec) => {
+                for edge in graph.edges() {
+                    let ps = ec.part_of(edge.src);
+                    let pd = ec.part_of(edge.dst);
+                    edges_per_part[ps.index()].push(*edge);
+                    owned_per_part[ps.index()].push(true);
+                    if pd != ps {
+                        edges_per_part[pd.index()].push(*edge);
+                        owned_per_part[pd.index()].push(false);
+                    }
+                }
+            }
+        }
+
+        // Replica sets and master election.
+        let mut incident_count: Vec<HashMap<PartitionId, usize>> = vec![HashMap::new(); n];
+        for (i, edges) in edges_per_part.iter().enumerate() {
+            let part = PartitionId::from_index(i);
+            for e in edges {
+                *incident_count[e.src.index()].entry(part).or_insert(0) += 1;
+                *incident_count[e.dst.index()].entry(part).or_insert(0) += 1;
+            }
+        }
+        let mut master = vec![PartitionId::default(); n];
+        let mut replicas: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
+        let mut isolated_per_part: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+        for v in 0..n {
+            let mut holders: Vec<(PartitionId, usize)> =
+                incident_count[v].iter().map(|(&p, &c)| (p, c)).collect();
+            holders.sort_by_key(|&(p, _)| p);
+            replicas[v] = holders.iter().map(|&(p, _)| p).collect();
+            master[v] = match partition {
+                // Edge-cut: the owner of the vertex is its master.
+                PartitionResult::EdgeCut(ec) => ec.part_of(VertexId::from(v)),
+                // Vertex-cut: the replica with the most incident edges.
+                PartitionResult::VertexCut(_) => holders
+                    .iter()
+                    .max_by_key(|&&(p, c)| (c, std::cmp::Reverse(p)))
+                    .map(|&(p, _)| p)
+                    .unwrap_or_default(),
+            };
+            // Isolated vertices appear in no edge list; place them (single
+            // replica, master) in a partition chosen round-robin so that
+            // every vertex is processed by exactly one worker.
+            if replicas[v].is_empty() {
+                let home = PartitionId::from_index(v % p);
+                master[v] = home;
+                replicas[v] = vec![home];
+                isolated_per_part[home.index()].push(VertexId::from(v));
+            }
+        }
+
+        let subgraphs = edges_per_part
+            .into_iter()
+            .zip(owned_per_part)
+            .enumerate()
+            .map(|(i, (edges, owned))| {
+                Subgraph::build(
+                    PartitionId::from_index(i),
+                    edges,
+                    owned,
+                    &isolated_per_part[i],
+                    &master,
+                )
+            })
+            .collect();
+
+        Ok(DistributedGraph {
+            subgraphs,
+            replicas: ReplicaTable { master, replicas },
+            num_vertices: n,
+            num_edges: graph.num_edges(),
+        })
+    }
+
+    /// Number of workers (subgraphs).
+    pub fn num_workers(&self) -> usize {
+        self.subgraphs.len()
+    }
+
+    /// Number of vertices in the global graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges in the global graph.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The per-worker subgraphs, indexed by partition.
+    pub fn subgraphs(&self) -> &[Subgraph] {
+        &self.subgraphs
+    }
+
+    /// The subgraph of worker `part`.
+    pub fn subgraph(&self, part: PartitionId) -> &Subgraph {
+        &self.subgraphs[part.index()]
+    }
+
+    /// The replica table.
+    pub fn replicas(&self) -> &ReplicaTable {
+        &self.replicas
+    }
+
+    /// The replication factor `Σ_i |V_i| / |V|` of this distribution.
+    pub fn replication_factor(&self) -> f64 {
+        self.replicas.total_replicas() as f64 / self.num_vertices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebv_partition::{EbvPartitioner, MetisLikePartitioner, Partitioner};
+
+    fn square() -> Graph {
+        Graph::from_edges(vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn vertex_cut_distribution_covers_all_edges_once() {
+        let g = square();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        assert_eq!(dg.num_workers(), 2);
+        let total_edges: usize = dg.subgraphs().iter().map(|s| s.num_edges()).sum();
+        assert_eq!(total_edges, g.num_edges());
+    }
+
+    #[test]
+    fn every_vertex_has_exactly_one_master() {
+        let g = ebv_graph::generators::named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        for v in g.vertices() {
+            let master = dg.replicas().master_of(v);
+            let master_count = dg
+                .subgraphs()
+                .iter()
+                .filter(|s| {
+                    s.local_index_of(v)
+                        .map(|i| s.is_master(i))
+                        .unwrap_or(false)
+                })
+                .count();
+            if dg.replicas().replica_count(v) > 0 {
+                assert_eq!(master_count, 1, "vertex {v}");
+                assert!(dg.replicas().replicas_of(v).contains(&master));
+            }
+        }
+    }
+
+    #[test]
+    fn replica_table_matches_subgraph_contents() {
+        let g = ebv_graph::generators::named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        for v in g.vertices() {
+            let holders: Vec<PartitionId> = dg
+                .subgraphs()
+                .iter()
+                .filter(|s| s.local_index_of(v).is_some())
+                .map(|s| s.part())
+                .collect();
+            assert_eq!(holders, dg.replicas().replicas_of(v), "vertex {v}");
+        }
+        let rf = dg.replication_factor();
+        assert!(rf >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn edge_cut_distribution_replicates_crossing_edges() {
+        let g = square();
+        let partition = MetisLikePartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let total_edges: usize = dg.subgraphs().iter().map(|s| s.num_edges()).sum();
+        assert!(total_edges >= g.num_edges());
+        // Masters come from the edge-cut ownership.
+        let ec = partition.as_edge_cut().unwrap();
+        for v in g.vertices() {
+            assert_eq!(dg.replicas().master_of(v), ec.part_of(v));
+        }
+        // Each original edge is owned by exactly one subgraph copy.
+        let owned_edges: usize = dg
+            .subgraphs()
+            .iter()
+            .map(|s| (0..s.num_edges()).filter(|&i| s.owns_edge(i)).count())
+            .sum();
+        assert_eq!(owned_edges, g.num_edges());
+    }
+
+    #[test]
+    fn vertex_cut_subgraphs_own_every_local_edge() {
+        let g = square();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        for s in dg.subgraphs() {
+            assert!((0..s.num_edges()).all(|i| s.owns_edge(i)));
+        }
+    }
+
+    #[test]
+    fn local_adjacency_is_consistent() {
+        let g = ebv_graph::generators::named::two_triangles();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        for s in dg.subgraphs() {
+            for (li, v) in s.vertices().iter().enumerate() {
+                assert_eq!(s.local_index_of(*v), Some(li));
+                assert_eq!(s.vertex_at(li), *v);
+                let out_edges = s
+                    .edges()
+                    .iter()
+                    .filter(|e| e.src == *v)
+                    .count();
+                assert_eq!(s.out_neighbors(li).len(), out_edges);
+                let in_edges = s.edges().iter().filter(|e| e.dst == *v).count();
+                assert_eq!(s.in_neighbors(li).len(), in_edges);
+            }
+            assert!(s.master_indices().count() <= s.num_vertices());
+        }
+    }
+
+    #[test]
+    fn mismatched_partition_is_rejected() {
+        let g = square();
+        let other = Graph::from_edges(vec![(0, 1)]).unwrap();
+        let partition = EbvPartitioner::new().partition(&other, 1).unwrap();
+        assert!(DistributedGraph::build(&g, &partition).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Worst-case imbalance bounds for EBV (Theorems 1 and 2 of the paper).
+//!
+//! Theorem 1: for any graph `G(V, E)` and any `p`, the edge imbalance factor
+//! of the EBV result is at most
+//! `1 + (p-1)/|E| · (1 + ⌊2|E|/(αp) + (β/α)|E|⌋)`.
+//!
+//! Theorem 2: the vertex imbalance factor is at most
+//! `1 + (p-1)/Σ|V_j| · (1 + ⌊2|V|/(βp) + (α/β)|V|⌋)`.
+//!
+//! With the default `α = β = 1` these bounds are loose (they mainly show the
+//! imbalance cannot grow without limit), but they tighten as `α`/`β` grow —
+//! which is exactly the knob the paper describes for trading replication
+//! against balance. The property tests in this module and in
+//! `tests/claims.rs` check that every EBV run stays within the bounds.
+
+use crate::error::{PartitionError, Result};
+
+/// The Theorem 1 upper bound on the edge imbalance factor.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::InvalidParameter`] when `num_edges` or
+/// `num_partitions` is zero, or `alpha` is not strictly positive (the bound
+/// divides by `α`).
+pub fn edge_imbalance_bound(
+    num_edges: usize,
+    num_partitions: usize,
+    alpha: f64,
+    beta: f64,
+) -> Result<f64> {
+    validate(num_edges, "num_edges", num_partitions, alpha, "alpha")?;
+    let e = num_edges as f64;
+    let p = num_partitions as f64;
+    let inner = (2.0 * e / (alpha * p) + beta / alpha * e).floor();
+    Ok(1.0 + (p - 1.0) / e * (1.0 + inner))
+}
+
+/// The Theorem 2 upper bound on the vertex imbalance factor.
+///
+/// `total_covered_vertices` is `Σ_j |V_j|`, the total number of vertex
+/// replicas in the final result (the denominator of the paper's vertex
+/// imbalance factor).
+///
+/// # Errors
+///
+/// Returns [`PartitionError::InvalidParameter`] when `num_vertices`,
+/// `total_covered_vertices` or `num_partitions` is zero, or `beta` is not
+/// strictly positive.
+pub fn vertex_imbalance_bound(
+    num_vertices: usize,
+    total_covered_vertices: usize,
+    num_partitions: usize,
+    alpha: f64,
+    beta: f64,
+) -> Result<f64> {
+    validate(num_vertices, "num_vertices", num_partitions, beta, "beta")?;
+    if total_covered_vertices == 0 {
+        return Err(PartitionError::InvalidParameter {
+            parameter: "total_covered_vertices",
+            message: "the partition result covers no vertices".to_string(),
+        });
+    }
+    let v = num_vertices as f64;
+    let p = num_partitions as f64;
+    let inner = (2.0 * v / (beta * p) + alpha / beta * v).floor();
+    Ok(1.0 + (p - 1.0) / total_covered_vertices as f64 * (1.0 + inner))
+}
+
+fn validate(
+    count: usize,
+    count_name: &'static str,
+    num_partitions: usize,
+    weight: f64,
+    weight_name: &'static str,
+) -> Result<()> {
+    if count == 0 {
+        return Err(PartitionError::InvalidParameter {
+            parameter: count_name,
+            message: "must be positive".to_string(),
+        });
+    }
+    if num_partitions == 0 {
+        return Err(PartitionError::InvalidPartitionCount {
+            requested: 0,
+            message: "at least one partition is required".to_string(),
+        });
+    }
+    if !(weight > 0.0) || !weight.is_finite() {
+        return Err(PartitionError::InvalidParameter {
+            parameter: weight_name,
+            message: format!("must be strictly positive and finite, got {weight}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebv::EbvPartitioner;
+    use crate::metrics::PartitionMetrics;
+    use crate::Partitioner;
+    use ebv_graph::generators::{GraphGenerator, RmatGenerator};
+
+    #[test]
+    fn bounds_exceed_one() {
+        let b = edge_imbalance_bound(1_000, 8, 1.0, 1.0).unwrap();
+        assert!(b > 1.0);
+        let b = vertex_imbalance_bound(500, 900, 8, 1.0, 1.0).unwrap();
+        assert!(b > 1.0);
+    }
+
+    #[test]
+    fn larger_alpha_tightens_the_edge_bound() {
+        let loose = edge_imbalance_bound(10_000, 16, 0.5, 1.0).unwrap();
+        let tight = edge_imbalance_bound(10_000, 16, 50.0, 1.0).unwrap();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn larger_beta_tightens_the_vertex_bound() {
+        let loose = vertex_imbalance_bound(10_000, 15_000, 16, 1.0, 0.5).unwrap();
+        let tight = vertex_imbalance_bound(10_000, 15_000, 16, 1.0, 50.0).unwrap();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn single_partition_bound_is_exactly_one() {
+        assert!((edge_imbalance_bound(100, 1, 1.0, 1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!(
+            (vertex_imbalance_bound(100, 100, 1, 1.0, 1.0).unwrap() - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(edge_imbalance_bound(0, 4, 1.0, 1.0).is_err());
+        assert!(edge_imbalance_bound(10, 0, 1.0, 1.0).is_err());
+        assert!(edge_imbalance_bound(10, 4, 0.0, 1.0).is_err());
+        assert!(vertex_imbalance_bound(10, 0, 4, 1.0, 1.0).is_err());
+        assert!(vertex_imbalance_bound(10, 12, 4, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn ebv_results_respect_both_bounds() {
+        let g = RmatGenerator::new(10, 8).with_seed(11).generate().unwrap();
+        for &(alpha, beta) in &[(1.0, 1.0), (2.0, 0.5), (5.0, 5.0)] {
+            for &p in &[2usize, 4, 8, 16] {
+                let partitioner = EbvPartitioner::new().with_alpha(alpha).with_beta(beta);
+                let result = partitioner.partition(&g, p).unwrap();
+                let covered: usize = result.vertex_counts(&g).iter().sum();
+                let metrics = PartitionMetrics::compute(&g, &result).unwrap();
+                let e_bound = edge_imbalance_bound(g.num_edges(), p, alpha, beta).unwrap();
+                let v_bound =
+                    vertex_imbalance_bound(g.num_vertices(), covered, p, alpha, beta).unwrap();
+                assert!(
+                    metrics.edge_imbalance <= e_bound + 1e-9,
+                    "alpha={alpha} beta={beta} p={p}: {} > {e_bound}",
+                    metrics.edge_imbalance
+                );
+                assert!(
+                    metrics.vertex_imbalance <= v_bound + 1e-9,
+                    "alpha={alpha} beta={beta} p={p}: {} > {v_bound}",
+                    metrics.vertex_imbalance
+                );
+            }
+        }
+    }
+}

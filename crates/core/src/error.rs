@@ -1,0 +1,108 @@
+//! Error type for partitioning operations.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use ebv_graph::GraphError;
+
+/// Errors produced while partitioning a graph.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// The requested number of partitions is invalid (zero, or larger than
+    /// the number of edges/vertices available to fill them).
+    InvalidPartitionCount {
+        /// The requested number of partitions.
+        requested: usize,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// A partitioner was configured with an invalid parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// The partition result does not cover the graph it claims to describe
+    /// (wrong edge or vertex count). Indicates a bug in a partitioner.
+    InconsistentAssignment {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(GraphError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidPartitionCount { requested, message } => {
+                write!(f, "invalid partition count {requested}: {message}")
+            }
+            PartitionError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            PartitionError::InconsistentAssignment { message } => {
+                write!(f, "inconsistent partition assignment: {message}")
+            }
+            PartitionError::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl StdError for PartitionError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            PartitionError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for PartitionError {
+    fn from(err: GraphError) -> Self {
+        PartitionError::Graph(err)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PartitionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let e = PartitionError::InvalidPartitionCount {
+            requested: 0,
+            message: "must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("partition count 0"));
+
+        let e = PartitionError::InvalidParameter {
+            parameter: "alpha",
+            message: "must be non-negative".to_string(),
+        };
+        assert!(e.to_string().contains("alpha"));
+
+        let e = PartitionError::InconsistentAssignment {
+            message: "edge count mismatch".to_string(),
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn graph_errors_are_wrapped() {
+        let inner = GraphError::EmptyGraph;
+        let e = PartitionError::from(inner);
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PartitionError>();
+    }
+}

@@ -1,0 +1,306 @@
+//! Incremental construction of [`Graph`] values.
+
+use std::collections::HashMap;
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::types::{Edge, GraphKind, VertexId};
+
+/// Builder for [`Graph`] values.
+///
+/// The builder accepts edges with arbitrary (possibly sparse) vertex
+/// identifiers, optionally remaps them to a dense `0..n` range, expands
+/// undirected edges into two opposite directed edges, and finally produces an
+/// immutable [`Graph`] with CSR adjacency.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), ebv_graph::GraphError> {
+/// let graph = GraphBuilder::undirected()
+///     .add_edge_ids(0, 1)
+///     .add_edge_ids(1, 2)
+///     .build()?;
+/// assert_eq!(graph.num_vertices(), 3);
+/// // Undirected edges are stored as two opposite directed edges.
+/// assert_eq!(graph.num_edges(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    kind: GraphKind,
+    edges: Vec<(u64, u64)>,
+    remap_ids: bool,
+    dedup: bool,
+    allow_self_loops: bool,
+    num_vertices_hint: Option<usize>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a directed graph.
+    pub fn directed() -> Self {
+        Self::new(GraphKind::Directed)
+    }
+
+    /// Creates a builder for an undirected graph: every added edge is stored
+    /// as a pair of opposite directed edges, matching the preprocessing used
+    /// by the paper.
+    pub fn undirected() -> Self {
+        Self::new(GraphKind::Undirected)
+    }
+
+    /// Creates a builder for the given [`GraphKind`].
+    pub fn new(kind: GraphKind) -> Self {
+        GraphBuilder {
+            kind,
+            edges: Vec::new(),
+            remap_ids: false,
+            dedup: false,
+            allow_self_loops: false,
+            num_vertices_hint: None,
+        }
+    }
+
+    /// Remap sparse external identifiers to a dense `0..n` range in first-seen
+    /// order. When disabled (the default) the maximum identifier determines
+    /// the vertex count.
+    pub fn remap_ids(&mut self, remap: bool) -> &mut Self {
+        self.remap_ids = remap;
+        self
+    }
+
+    /// Remove duplicate directed edges before building.
+    pub fn dedup(&mut self, dedup: bool) -> &mut Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Keep self loops instead of silently dropping them (the default drops
+    /// them, as the evaluation graphs in the paper are loop-free).
+    pub fn allow_self_loops(&mut self, allow: bool) -> &mut Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Declare the number of vertices up front. Useful when isolated vertices
+    /// beyond the largest endpoint must be preserved.
+    pub fn num_vertices(&mut self, n: usize) -> &mut Self {
+        self.num_vertices_hint = Some(n);
+        self
+    }
+
+    /// Adds a single edge between raw vertex identifiers.
+    pub fn add_edge_ids(&mut self, src: u64, dst: u64) -> &mut Self {
+        self.edges.push((src, dst));
+        self
+    }
+
+    /// Adds a single [`Edge`].
+    pub fn add_edge(&mut self, edge: Edge) -> &mut Self {
+        self.edges.push((edge.src.raw(), edge.dst.raw()));
+        self
+    }
+
+    /// Adds every edge from an iterator of `(src, dst)` pairs.
+    pub fn extend_edges<I>(&mut self, iter: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of raw (pre-expansion) edges currently staged in the builder.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Consumes the staged edges and produces an immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] when a declared vertex count
+    /// is smaller than the largest endpoint identifier, and
+    /// [`GraphError::EmptyGraph`] when no edges were staged and no vertex
+    /// count hint was given.
+    pub fn build(&self) -> Result<Graph> {
+        let mut raw: Vec<(u64, u64)> = Vec::with_capacity(self.edges.len());
+        if self.remap_ids {
+            let mut mapping: HashMap<u64, u64> = HashMap::new();
+            let mut next: u64 = 0;
+            for &(s, d) in &self.edges {
+                let s = *mapping.entry(s).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                let d = *mapping.entry(d).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                raw.push((s, d));
+            }
+        } else {
+            raw.extend_from_slice(&self.edges);
+        }
+
+        if !self.allow_self_loops {
+            raw.retain(|&(s, d)| s != d);
+        }
+
+        let mut directed: Vec<Edge> = Vec::with_capacity(match self.kind {
+            GraphKind::Directed => raw.len(),
+            GraphKind::Undirected => raw.len() * 2,
+        });
+        for &(s, d) in &raw {
+            let e = Edge::new(VertexId::new(s), VertexId::new(d));
+            directed.push(e);
+            if self.kind.is_undirected() {
+                directed.push(e.reversed());
+            }
+        }
+
+        if self.dedup {
+            directed.sort_unstable();
+            directed.dedup();
+        }
+
+        let max_endpoint = directed
+            .iter()
+            .map(|e| e.src.raw().max(e.dst.raw()))
+            .max();
+
+        let implied_vertices = max_endpoint.map(|m| m as usize + 1).unwrap_or(0);
+        let num_vertices = match self.num_vertices_hint {
+            Some(hint) => {
+                if hint < implied_vertices {
+                    return Err(GraphError::InvalidParameter {
+                        parameter: "num_vertices",
+                        message: format!(
+                            "declared {hint} vertices but edges reference vertex {}",
+                            implied_vertices - 1
+                        ),
+                    });
+                }
+                hint
+            }
+            None => implied_vertices,
+        };
+
+        if num_vertices == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+
+        Ok(Graph::from_parts(self.kind, num_vertices, directed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_build_counts_vertices_from_max_id() {
+        let g = GraphBuilder::directed()
+            .add_edge_ids(0, 5)
+            .add_edge_ids(5, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.kind(), GraphKind::Directed);
+    }
+
+    #[test]
+    fn undirected_build_doubles_edges() {
+        let g = GraphBuilder::undirected()
+            .add_edge_ids(0, 1)
+            .add_edge_ids(1, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(VertexId::new(1)), 2);
+        assert_eq!(g.in_degree(VertexId::new(1)), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default_and_kept_on_request() {
+        let dropped = GraphBuilder::directed()
+            .add_edge_ids(0, 0)
+            .add_edge_ids(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(dropped.num_edges(), 1);
+
+        let kept = GraphBuilder::directed()
+            .allow_self_loops(true)
+            .add_edge_ids(0, 0)
+            .add_edge_ids(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(kept.num_edges(), 2);
+    }
+
+    #[test]
+    fn remap_ids_densifies_sparse_identifiers() {
+        let g = GraphBuilder::directed()
+            .remap_ids(true)
+            .add_edge_ids(1_000_000, 2_000_000)
+            .add_edge_ids(2_000_000, 3_000_000)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_removes_duplicate_edges() {
+        let g = GraphBuilder::directed()
+            .dedup(true)
+            .add_edge_ids(0, 1)
+            .add_edge_ids(0, 1)
+            .add_edge_ids(1, 0)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        let err = GraphBuilder::directed().build().unwrap_err();
+        assert!(matches!(err, GraphError::EmptyGraph));
+    }
+
+    #[test]
+    fn vertex_hint_preserves_isolated_vertices() {
+        let g = GraphBuilder::directed()
+            .num_vertices(10)
+            .add_edge_ids(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn vertex_hint_too_small_is_rejected() {
+        let err = GraphBuilder::directed()
+            .num_vertices(2)
+            .add_edge_ids(0, 5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn extend_edges_and_staged_count() {
+        let mut b = GraphBuilder::directed();
+        b.extend_edges(vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.staged_edges(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+}

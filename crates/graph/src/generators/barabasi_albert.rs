@@ -1,0 +1,186 @@
+//! Barabási–Albert preferential-attachment generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{GraphError, Result};
+use crate::generators::GraphGenerator;
+use crate::graph::Graph;
+use crate::GraphBuilder;
+
+/// Generator for Barabási–Albert preferential-attachment graphs.
+///
+/// Vertices arrive one at a time and attach `edges_per_vertex` undirected
+/// edges to existing vertices with probability proportional to their current
+/// degree. The resulting degree distribution follows a power law with
+/// exponent ≈ 3, a good stand-in for moderately skewed social graphs such as
+/// LiveJournal.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::generators::{BarabasiAlbertGenerator, GraphGenerator};
+///
+/// # fn main() -> Result<(), ebv_graph::GraphError> {
+/// let graph = BarabasiAlbertGenerator::new(1_000, 4).with_seed(7).generate()?;
+/// assert_eq!(graph.num_vertices(), 1_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarabasiAlbertGenerator {
+    num_vertices: usize,
+    edges_per_vertex: usize,
+    seed: u64,
+}
+
+impl BarabasiAlbertGenerator {
+    /// Creates a generator for `num_vertices` vertices where each new vertex
+    /// attaches `edges_per_vertex` edges.
+    pub fn new(num_vertices: usize, edges_per_vertex: usize) -> Self {
+        BarabasiAlbertGenerator {
+            num_vertices,
+            edges_per_vertex,
+            seed: 0,
+        }
+    }
+
+    /// Sets the random seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_vertices < 2 {
+            return Err(GraphError::InvalidParameter {
+                parameter: "num_vertices",
+                message: "preferential attachment needs at least 2 vertices".to_string(),
+            });
+        }
+        if self.edges_per_vertex == 0 || self.edges_per_vertex >= self.num_vertices {
+            return Err(GraphError::InvalidParameter {
+                parameter: "edges_per_vertex",
+                message: format!(
+                    "edges per vertex must be in 1..{} (got {})",
+                    self.num_vertices, self.edges_per_vertex
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl GraphGenerator for BarabasiAlbertGenerator {
+    fn generate(&self) -> Result<Graph> {
+        self.validate()?;
+        let m = self.edges_per_vertex;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // `targets` holds one entry per edge endpoint, so sampling a uniform
+        // index implements preferential attachment ("repeated nodes" trick).
+        let mut endpoint_pool: Vec<u64> = Vec::with_capacity(2 * m * self.num_vertices);
+        let mut edges: Vec<(u64, u64)> = Vec::with_capacity(m * self.num_vertices);
+
+        // Seed clique over the first m+1 vertices so every early vertex has
+        // degree at least m.
+        for i in 0..=(m as u64) {
+            for j in (i + 1)..=(m as u64) {
+                edges.push((i, j));
+                endpoint_pool.push(i);
+                endpoint_pool.push(j);
+            }
+        }
+
+        for v in (m as u64 + 1)..(self.num_vertices as u64) {
+            let mut chosen: Vec<u64> = Vec::with_capacity(m);
+            while chosen.len() < m {
+                let target = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+                if target != v && !chosen.contains(&target) {
+                    chosen.push(target);
+                }
+            }
+            for &t in &chosen {
+                edges.push((v, t));
+                endpoint_pool.push(v);
+                endpoint_pool.push(t);
+            }
+        }
+
+        let mut builder = GraphBuilder::undirected();
+        builder.num_vertices(self.num_vertices).extend_edges(edges);
+        builder.build()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Barabasi-Albert(n={}, m={}, seed={})",
+            self.num_vertices, self.edges_per_vertex, self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::estimate_graph_eta;
+    use crate::VertexId;
+
+    #[test]
+    fn produces_requested_vertex_count_and_min_degree() {
+        let g = BarabasiAlbertGenerator::new(500, 3)
+            .with_seed(11)
+            .generate()
+            .unwrap();
+        assert_eq!(g.num_vertices(), 500);
+        // Every vertex attaches at least 3 undirected edges => total degree >= 6.
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 6, "vertex {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = BarabasiAlbertGenerator::new(3_000, 4)
+            .with_seed(3)
+            .generate()
+            .unwrap();
+        let fit = estimate_graph_eta(&g).unwrap();
+        assert!(fit.is_power_law(), "eta = {}", fit.eta);
+        assert!(g.max_degree() > 20 * 2 * 4);
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let g = BarabasiAlbertGenerator::new(2_000, 2)
+            .with_seed(5)
+            .generate()
+            .unwrap();
+        let early_avg: f64 = (0..10)
+            .map(|i| g.degree(VertexId::new(i)) as f64)
+            .sum::<f64>()
+            / 10.0;
+        let late_avg: f64 = (1990..2000)
+            .map(|i| g.degree(VertexId::new(i)) as f64)
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            early_avg > 3.0 * late_avg,
+            "early {early_avg} vs late {late_avg}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(BarabasiAlbertGenerator::new(1, 1).generate().is_err());
+        assert!(BarabasiAlbertGenerator::new(10, 0).generate().is_err());
+        assert!(BarabasiAlbertGenerator::new(10, 10).generate().is_err());
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        let d = BarabasiAlbertGenerator::new(10, 2).with_seed(4).describe();
+        assert!(d.contains("n=10"));
+        assert!(d.contains("seed=4"));
+    }
+}

@@ -1,0 +1,203 @@
+//! 2-D lattice ("road network") generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{GraphError, Result};
+use crate::generators::GraphGenerator;
+use crate::graph::Graph;
+use crate::GraphBuilder;
+
+/// Generator for road-network-like graphs: a `rows × cols` 2-D lattice with
+/// optional random diagonal shortcuts and random edge deletions.
+///
+/// Road networks such as USARoad have an almost uniform, very low degree
+/// (average ≈ 2.4 in Table I of the paper) and large diameter. A sparse grid
+/// with a small deletion probability reproduces both properties and serves as
+/// the paper's non-power-law control graph.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::generators::{GraphGenerator, GridGenerator};
+///
+/// # fn main() -> Result<(), ebv_graph::GraphError> {
+/// let graph = GridGenerator::new(20, 30).generate()?;
+/// assert_eq!(graph.num_vertices(), 600);
+/// assert!(graph.average_degree() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridGenerator {
+    rows: usize,
+    cols: usize,
+    diagonal_probability: f64,
+    deletion_probability: f64,
+    seed: u64,
+}
+
+impl GridGenerator {
+    /// Creates a generator for a `rows × cols` lattice.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        GridGenerator {
+            rows,
+            cols,
+            diagonal_probability: 0.0,
+            deletion_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the random seed (default 0). The seed only matters when diagonal
+    /// shortcuts or deletions are enabled.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a diagonal shortcut inside each lattice cell with the given
+    /// probability, mimicking highway links.
+    pub fn with_diagonal_probability(mut self, p: f64) -> Self {
+        self.diagonal_probability = p;
+        self
+    }
+
+    /// Deletes each lattice edge with the given probability, mimicking
+    /// irregular road coverage.
+    pub fn with_deletion_probability(mut self, p: f64) -> Self {
+        self.deletion_probability = p;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.rows < 2 || self.cols < 2 {
+            return Err(GraphError::InvalidParameter {
+                parameter: "rows/cols",
+                message: format!("grid must be at least 2x2, got {}x{}", self.rows, self.cols),
+            });
+        }
+        for (name, p) in [
+            ("diagonal_probability", self.diagonal_probability),
+            ("deletion_probability", self.deletion_probability),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(GraphError::InvalidParameter {
+                    parameter: "probability",
+                    message: format!("{name} must lie in [0, 1], got {p}"),
+                });
+            }
+        }
+        if self.deletion_probability >= 1.0 {
+            return Err(GraphError::InvalidParameter {
+                parameter: "deletion_probability",
+                message: "deleting every edge leaves an empty graph".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn vertex(&self, r: usize, c: usize) -> u64 {
+        (r * self.cols + c) as u64
+    }
+}
+
+impl GraphGenerator for GridGenerator {
+    fn generate(&self) -> Result<Graph> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = GraphBuilder::undirected();
+        builder.num_vertices(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c + 1 < self.cols && rng.gen::<f64>() >= self.deletion_probability {
+                    builder.add_edge_ids(self.vertex(r, c), self.vertex(r, c + 1));
+                }
+                if r + 1 < self.rows && rng.gen::<f64>() >= self.deletion_probability {
+                    builder.add_edge_ids(self.vertex(r, c), self.vertex(r + 1, c));
+                }
+                if r + 1 < self.rows
+                    && c + 1 < self.cols
+                    && rng.gen::<f64>() < self.diagonal_probability
+                {
+                    builder.add_edge_ids(self.vertex(r, c), self.vertex(r + 1, c + 1));
+                }
+            }
+        }
+        builder.build()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Grid(rows={}, cols={}, diag={}, del={}, seed={})",
+            self.rows, self.cols, self.diagonal_probability, self.deletion_probability, self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::estimate_graph_eta;
+    use crate::VertexId;
+
+    #[test]
+    fn plain_grid_edge_count() {
+        // rows*(cols-1) + cols*(rows-1) undirected edges, doubled as directed.
+        let g = GridGenerator::new(4, 5).generate().unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 2 * (4 * 4 + 5 * 3));
+    }
+
+    #[test]
+    fn corner_and_center_degrees() {
+        let g = GridGenerator::new(5, 5).generate().unwrap();
+        // Corner has 2 undirected neighbours => total degree 4.
+        assert_eq!(g.degree(VertexId::new(0)), 4);
+        // Center has 4 undirected neighbours => total degree 8.
+        assert_eq!(g.degree(VertexId::new(12)), 8);
+    }
+
+    #[test]
+    fn grid_is_not_power_law() {
+        let g = GridGenerator::new(60, 60).generate().unwrap();
+        let fit = estimate_graph_eta(&g).unwrap();
+        assert!(!fit.is_power_law(), "eta = {}", fit.eta);
+        assert!(g.average_degree() < 5.0);
+    }
+
+    #[test]
+    fn diagonals_add_edges_and_deletions_remove_them() {
+        let base = GridGenerator::new(20, 20).generate().unwrap();
+        let with_diag = GridGenerator::new(20, 20)
+            .with_diagonal_probability(0.5)
+            .with_seed(1)
+            .generate()
+            .unwrap();
+        let with_del = GridGenerator::new(20, 20)
+            .with_deletion_probability(0.3)
+            .with_seed(1)
+            .generate()
+            .unwrap();
+        assert!(with_diag.num_edges() > base.num_edges());
+        assert!(with_del.num_edges() < base.num_edges());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(GridGenerator::new(1, 5).generate().is_err());
+        assert!(GridGenerator::new(5, 5)
+            .with_diagonal_probability(1.5)
+            .generate()
+            .is_err());
+        assert!(GridGenerator::new(5, 5)
+            .with_deletion_probability(-0.1)
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn describe_mentions_shape() {
+        assert!(GridGenerator::new(3, 7).describe().contains("rows=3"));
+    }
+}

@@ -1,0 +1,242 @@
+//! R-MAT (recursive matrix) graph generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{GraphError, Result};
+use crate::generators::GraphGenerator;
+use crate::graph::Graph;
+use crate::types::GraphKind;
+use crate::GraphBuilder;
+
+/// Generator for R-MAT graphs (Chakrabarti, Zhan & Faloutsos).
+///
+/// R-MAT recursively subdivides the adjacency matrix into four quadrants with
+/// probabilities `(a, b, c, d)`. Skewed probabilities produce the heavy-tailed
+/// degree distributions typical of web and social graphs, which makes R-MAT
+/// the standard synthetic substitute for graphs such as Twitter and
+/// Friendster. The default parameters `(0.57, 0.19, 0.19, 0.05)` are the
+/// Graph500 values.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::generators::{GraphGenerator, RmatGenerator};
+///
+/// # fn main() -> Result<(), ebv_graph::GraphError> {
+/// let graph = RmatGenerator::new(10, 16).with_seed(42).generate()?;
+/// assert_eq!(graph.num_vertices(), 1 << 10);
+/// assert_eq!(graph.num_edges(), 16 * (1 << 10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatGenerator {
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    kind: GraphKind,
+}
+
+impl RmatGenerator {
+    /// Creates a generator for a graph with `2^scale` vertices and
+    /// `edge_factor * 2^scale` directed edges, using the Graph500 quadrant
+    /// probabilities.
+    pub fn new(scale: u32, edge_factor: usize) -> Self {
+        RmatGenerator {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0,
+            kind: GraphKind::Directed,
+        }
+    }
+
+    /// Sets the random seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the quadrant probabilities `a`, `b`, `c` (`d` is the
+    /// remainder). Larger `a` gives a more skewed graph.
+    pub fn with_probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    /// Treats generated edges as undirected pairs instead of directed edges.
+    pub fn undirected(mut self) -> Self {
+        self.kind = GraphKind::Undirected;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.scale == 0 || self.scale > 30 {
+            return Err(GraphError::InvalidParameter {
+                parameter: "scale",
+                message: format!("scale must be in 1..=30, got {}", self.scale),
+            });
+        }
+        if self.edge_factor == 0 {
+            return Err(GraphError::InvalidParameter {
+                parameter: "edge_factor",
+                message: "edge factor must be positive".to_string(),
+            });
+        }
+        let d = 1.0 - self.a - self.b - self.c;
+        if self.a <= 0.0 || self.b <= 0.0 || self.c <= 0.0 || d <= 0.0 {
+            return Err(GraphError::InvalidParameter {
+                parameter: "probabilities",
+                message: format!(
+                    "quadrant probabilities must be positive and sum below 1 (a={}, b={}, c={}, d={d})",
+                    self.a, self.b, self.c
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn sample_edge(&self, rng: &mut StdRng) -> (u64, u64) {
+        let n = 1u64 << self.scale;
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        let mut span = n;
+        while span > 1 {
+            span /= 2;
+            let r: f64 = rng.gen();
+            // Add a little per-level noise, as recommended by the original
+            // R-MAT paper, to avoid exact self-similarity artifacts.
+            let noise = 1.0 + 0.1 * (rng.gen::<f64>() - 0.5);
+            let a = self.a * noise;
+            let b = self.b * noise;
+            let c = self.c * noise;
+            let total = a + b + c + (1.0 - self.a - self.b - self.c) * noise;
+            let (right, down) = if r < a / total {
+                (false, false)
+            } else if r < (a + b) / total {
+                (true, false)
+            } else if r < (a + b + c) / total {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            if right {
+                dst += span;
+            }
+            if down {
+                src += span;
+            }
+        }
+        (src, dst)
+    }
+}
+
+impl GraphGenerator for RmatGenerator {
+    fn generate(&self) -> Result<Graph> {
+        self.validate()?;
+        let num_vertices = 1usize << self.scale;
+        let num_edges = num_vertices * self.edge_factor;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = GraphBuilder::new(self.kind);
+        builder.num_vertices(num_vertices).allow_self_loops(false);
+        let mut produced = 0usize;
+        // Self loops are dropped by the builder, so keep sampling until the
+        // requested number of non-loop edges has been produced.
+        while produced < num_edges {
+            let (src, dst) = self.sample_edge(&mut rng);
+            if src == dst {
+                continue;
+            }
+            builder.add_edge_ids(src, dst);
+            produced += 1;
+        }
+        builder.build()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "R-MAT(scale={}, edge_factor={}, a={}, b={}, c={}, seed={}, {})",
+            self.scale, self.edge_factor, self.a, self.b, self.c, self.seed, self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::estimate_graph_eta;
+
+    #[test]
+    fn produces_requested_size() {
+        let g = RmatGenerator::new(8, 8).with_seed(1).generate().unwrap();
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 2048);
+    }
+
+    #[test]
+    fn undirected_doubles_directed_edges() {
+        let g = RmatGenerator::new(6, 4)
+            .undirected()
+            .with_seed(1)
+            .generate()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2 * 4 * 64);
+    }
+
+    #[test]
+    fn default_parameters_are_skewed() {
+        let g = RmatGenerator::new(12, 16).with_seed(5).generate().unwrap();
+        let fit = estimate_graph_eta(&g).unwrap();
+        assert!(
+            fit.is_power_law(),
+            "R-MAT should be heavy tailed, eta = {}",
+            fit.eta
+        );
+        // The hubs should dominate: top 1% of vertices touch a large share
+        // of the endpoints.
+        let dist = crate::DegreeDistribution::of(&g);
+        assert!(dist.endpoint_share_of_top(0.01) > 0.15);
+    }
+
+    #[test]
+    fn more_uniform_probabilities_reduce_skew() {
+        let skewed = RmatGenerator::new(11, 16).with_seed(5).generate().unwrap();
+        let uniform = RmatGenerator::new(11, 16)
+            .with_probabilities(0.25, 0.25, 0.25)
+            .with_seed(5)
+            .generate()
+            .unwrap();
+        let skewed_max = skewed.max_degree();
+        let uniform_max = uniform.max_degree();
+        assert!(
+            skewed_max > 2 * uniform_max,
+            "skewed max degree {skewed_max} should dwarf uniform {uniform_max}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(RmatGenerator::new(0, 8).generate().is_err());
+        assert!(RmatGenerator::new(31, 8).generate().is_err());
+        assert!(RmatGenerator::new(8, 0).generate().is_err());
+        assert!(RmatGenerator::new(8, 8)
+            .with_probabilities(0.9, 0.2, 0.2)
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn describe_mentions_parameters() {
+        let d = RmatGenerator::new(5, 3).with_seed(9).describe();
+        assert!(d.contains("scale=5"));
+        assert!(d.contains("seed=9"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Core identifier and edge types shared by every crate in the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex inside a [`Graph`](crate::Graph).
+///
+/// Vertex identifiers are dense: a graph with `n` vertices uses the
+/// identifiers `0..n`. External (sparse) identifiers are remapped by
+/// [`GraphBuilder`](crate::GraphBuilder) when the graph is constructed.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::VertexId;
+///
+/// let v = VertexId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VertexId(u64);
+
+impl VertexId {
+    /// Creates a vertex identifier from its dense index.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VertexId(raw)
+    }
+
+    /// Returns the raw 64-bit value of this identifier.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` suitable for indexing
+    /// per-vertex arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(raw: u64) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(raw: u32) -> Self {
+        VertexId(u64::from(raw))
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(raw: usize) -> Self {
+        VertexId(raw as u64)
+    }
+}
+
+impl From<VertexId> for u64 {
+    fn from(id: VertexId) -> Self {
+        id.0
+    }
+}
+
+impl From<VertexId> for usize {
+    fn from(id: VertexId) -> Self {
+        id.index()
+    }
+}
+
+/// A directed edge `(src, dst)`.
+///
+/// Undirected input graphs are represented, as in the paper, by two directed
+/// edges with opposite directions (see
+/// [`GraphBuilder::undirected`](crate::GraphBuilder::undirected)).
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::{Edge, VertexId};
+///
+/// let e = Edge::new(VertexId::new(0), VertexId::new(1));
+/// assert_eq!(e.reversed(), Edge::new(VertexId::new(1), VertexId::new(0)));
+/// assert!(!e.is_self_loop());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Target vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates a new directed edge from `src` to `dst`.
+    #[inline]
+    pub const fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// Returns the edge with its direction flipped.
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Returns `true` when both endpoints are the same vertex.
+    #[inline]
+    pub fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+
+    /// Returns both endpoints as a pair `(src, dst)`.
+    #[inline]
+    pub const fn endpoints(self) -> (VertexId, VertexId) {
+        (self.src, self.dst)
+    }
+
+    /// Returns the endpoints ordered by identifier, which gives a canonical
+    /// representation for treating the edge as undirected.
+    #[inline]
+    pub fn canonical(self) -> (VertexId, VertexId) {
+        if self.src <= self.dst {
+            (self.src, self.dst)
+        } else {
+            (self.dst, self.src)
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {})", self.src, self.dst)
+    }
+}
+
+impl From<(u64, u64)> for Edge {
+    fn from((src, dst): (u64, u64)) -> Self {
+        Edge::new(VertexId::new(src), VertexId::new(dst))
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Edge::new(src, dst)
+    }
+}
+
+/// Whether a graph's edge list should be interpreted as directed or
+/// undirected.
+///
+/// The subgraph-centric framework in the paper operates on directed graphs;
+/// undirected graphs are expanded into two opposite directed edges before
+/// partitioning ([Section III-C of the paper]).
+///
+/// [Section III-C of the paper]: https://arxiv.org/abs/2010.09007
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphKind {
+    /// Each input edge is a single directed edge.
+    Directed,
+    /// Each input edge stands for a pair of opposite directed edges.
+    Undirected,
+}
+
+impl GraphKind {
+    /// Returns `true` for [`GraphKind::Undirected`].
+    pub fn is_undirected(self) -> bool {
+        matches!(self, GraphKind::Undirected)
+    }
+}
+
+impl fmt::Display for GraphKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphKind::Directed => write!(f, "directed"),
+            GraphKind::Undirected => write!(f, "undirected"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u64::from(v), 42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(VertexId::from(42u64), v);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(VertexId::from(42usize), v);
+    }
+
+    #[test]
+    fn vertex_id_ordering_and_display() {
+        let a = VertexId::new(1);
+        let b = VertexId::new(2);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "1");
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+
+    #[test]
+    fn edge_reversal_and_self_loop() {
+        let e = Edge::from((3u64, 5u64));
+        assert_eq!(e.reversed().src, VertexId::new(5));
+        assert_eq!(e.reversed().dst, VertexId::new(3));
+        assert!(!e.is_self_loop());
+        assert!(Edge::from((4u64, 4u64)).is_self_loop());
+    }
+
+    #[test]
+    fn edge_canonical_orders_endpoints() {
+        let e = Edge::from((9u64, 2u64));
+        assert_eq!(e.canonical(), (VertexId::new(2), VertexId::new(9)));
+        assert_eq!(e.reversed().canonical(), e.canonical());
+    }
+
+    #[test]
+    fn edge_display_and_endpoints() {
+        let e = Edge::from((1u64, 2u64));
+        assert_eq!(e.to_string(), "(1 -> 2)");
+        assert_eq!(e.endpoints(), (VertexId::new(1), VertexId::new(2)));
+    }
+
+    #[test]
+    fn graph_kind_display() {
+        assert_eq!(GraphKind::Directed.to_string(), "directed");
+        assert_eq!(GraphKind::Undirected.to_string(), "undirected");
+        assert!(GraphKind::Undirected.is_undirected());
+        assert!(!GraphKind::Directed.is_undirected());
+    }
+}

@@ -1,0 +1,65 @@
+//! A walkthrough of Figure 1 of the paper: why the degree-sum edge-sorting
+//! preprocessing produces a more balanced partition than processing edges in
+//! input (alphabetical) order on the toy six-vertex graph.
+//!
+//! Run with `cargo run --example figure1_walkthrough`.
+
+use ebv::graph::generators::named;
+use ebv::partition::{EbvPartitioner, PartitionMetrics, Partitioner};
+
+fn describe(label: &str, graph: &ebv::graph::Graph, partitioner: &EbvPartitioner) {
+    let result = partitioner
+        .partition(graph, 2)
+        .expect("the toy graph always partitions");
+    let metrics =
+        PartitionMetrics::compute(graph, &result).expect("metrics of a valid partition");
+    let vc = result.as_vertex_cut().expect("EBV is a vertex-cut");
+    println!("{label}:");
+    println!("  edges per subgraph: {:?}", vc.edge_counts());
+    println!(
+        "  edge imbalance {:.2}, vertex imbalance {:.2}, replication factor {:.2}",
+        metrics.edge_imbalance, metrics.vertex_imbalance, metrics.replication_factor
+    );
+    for part in 0..2u32 {
+        let edges = vc.edges_of(graph, ebv::partition::PartitionId::new(part));
+        let rendered: Vec<String> = edges
+            .iter()
+            .map(|e| {
+                let name = |v: ebv::graph::VertexId| {
+                    char::from(b'A' + u8::try_from(v.raw()).expect("six vertices"))
+                };
+                format!("{}{}", name(e.src), name(e.dst))
+            })
+            .collect();
+        println!("  subgraph {part}: {}", rendered.join(" "));
+    }
+}
+
+fn main() {
+    // The raw graph of Figure 1: A-B, A-C, B-C, A-D, D-E, A-F, with A the hub.
+    let graph = named::figure1_graph();
+    println!(
+        "Figure 1 graph: {} vertices, {} undirected edges (stored as {} directed edges)\n",
+        graph.num_vertices(),
+        graph.num_input_edges(),
+        graph.num_edges()
+    );
+
+    describe(
+        "EBV with the sorting preprocessing (paper: balanced 3+3 split)",
+        &graph,
+        &EbvPartitioner::new(),
+    );
+    println!();
+    describe(
+        "EBV processing edges in input (alphabetical) order",
+        &graph,
+        &EbvPartitioner::new().unsorted(),
+    );
+    println!();
+    println!(
+        "The sorted run assigns the low-degree edges (D-E, then the edges touching B, C, F) \
+         first, seeding both subgraphs evenly before the hub A forces replicas; the unsorted \
+         run meets hub A immediately and pays for it with a more lopsided result."
+    );
+}

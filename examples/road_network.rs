@@ -1,0 +1,76 @@
+//! Road-network scenario: the paper's non-power-law control case.
+//!
+//! Builds a USARoad-like grid graph, runs SSSP from a corner intersection on
+//! partitions produced by EBV, NE and the METIS-like edge-cut, and shows why
+//! the local-based partitioners are competitive on mesh graphs (Figure 3 of
+//! the paper) even though they lose on power-law graphs.
+//!
+//! Run with `cargo run --release --example road_network`.
+
+use ebv::algorithms::{SingleSourceShortestPath, UNREACHABLE};
+use ebv::bsp::{BspEngine, CostModel, DistributedGraph};
+use ebv::graph::generators::{GraphGenerator, GridGenerator};
+use ebv::graph::VertexId;
+use ebv::partition::{
+    EbvPartitioner, MetisLikePartitioner, NePartitioner, PartitionMetrics, Partitioner,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = GridGenerator::new(120, 100)
+        .with_deletion_probability(0.05)
+        .with_seed(7)
+        .generate()?;
+    let workers = 8;
+    println!(
+        "road graph: {} intersections, {} road segments, average degree {:.2}\n",
+        graph.num_vertices(),
+        graph.num_input_edges(),
+        graph.average_degree()
+    );
+
+    let partitioners: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(EbvPartitioner::new()),
+        Box::new(NePartitioner::new()),
+        Box::new(MetisLikePartitioner::new()),
+    ];
+
+    println!(
+        "{:<12} {:>18} {:>12} {:>14} {:>16}",
+        "partitioner", "replication factor", "messages", "supersteps", "modeled time (s)"
+    );
+    let mut reachable_check: Option<usize> = None;
+    for partitioner in &partitioners {
+        let partition = partitioner.partition(&graph, workers)?;
+        let metrics = PartitionMetrics::compute(&graph, &partition)?;
+        let distributed = DistributedGraph::build(&graph, &partition)?;
+        let sssp = SingleSourceShortestPath::new(VertexId::new(0));
+        let outcome = BspEngine::sequential().run(&distributed, &sssp)?;
+        let breakdown = CostModel::default().breakdown(&outcome.stats);
+        let reachable = outcome
+            .values
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .count();
+        // Every partitioner must agree on how much of the road network is
+        // reachable from the source intersection.
+        if let Some(previous) = reachable_check {
+            assert_eq!(previous, reachable, "partitioners disagree on reachability");
+        }
+        reachable_check = Some(reachable);
+        println!(
+            "{:<12} {:>18.3} {:>12} {:>14} {:>16.4}",
+            partitioner.name(),
+            metrics.replication_factor,
+            outcome.stats.total_messages(),
+            outcome.supersteps,
+            breakdown.execution_time
+        );
+    }
+
+    println!(
+        "\nOn this mesh the local-based partitioners (NE, METIS-like) keep the replication \
+         factor near 1 and send very few messages — the Figure 3 situation — whereas on the \
+         power-law graph of the social_network example they fall behind EBV."
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # ebv — umbrella crate for the EBV reproduction
+//!
+//! Re-exports the four library crates of the workspace under short module
+//! names so that examples and integration tests can use one import root:
+//!
+//! * [`graph`] — graph structures, generators, statistics and I/O
+//!   (`ebv-graph`)
+//! * [`partition`] — the EBV partitioner, every baseline and the quality
+//!   metrics (`ebv-partition`)
+//! * [`bsp`] — the subgraph-centric BSP engine and cost model (`ebv-bsp`)
+//! * [`algorithms`] — CC, SSSP, PageRank, BFS and their sequential
+//!   references (`ebv-algorithms`)
+//!
+//! See the workspace README for the quickstart and the experiment index.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ebv_algorithms as algorithms;
+pub use ebv_bsp as bsp;
+pub use ebv_graph as graph;
+pub use ebv_partition as partition;

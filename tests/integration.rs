@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: generator → partitioner → distributed
+//! graph → application → metrics, exercised through the public API of the
+//! umbrella crate exactly as a downstream user would.
+
+use ebv::algorithms::reference::{cc_reference, pagerank_reference, sssp_reference};
+use ebv::algorithms::{ranks, ConnectedComponents, PageRank, SingleSourceShortestPath};
+use ebv::bsp::{BspEngine, CostModel, DistributedGraph};
+use ebv::graph::generators::{GraphGenerator, GridGenerator, RmatGenerator};
+use ebv::graph::io::{read_edge_list, write_edge_list, EdgeListOptions};
+use ebv::graph::{GraphStats, VertexId};
+use ebv::partition::{
+    paper_partitioners, EbvPartitioner, EdgeOrder, PartitionMetrics, Partitioner,
+};
+
+/// The full pipeline on a power-law graph, for every partitioner of the
+/// paper's roster and both engine modes.
+#[test]
+fn full_pipeline_on_a_power_law_graph() {
+    let graph = RmatGenerator::new(9, 8).with_seed(21).generate().unwrap();
+    let expected_cc = cc_reference(&graph);
+    let expected_sssp = sssp_reference(&graph, VertexId::new(0));
+
+    for partitioner in paper_partitioners() {
+        let partition = partitioner.partition(&graph, 6).unwrap();
+        let metrics = PartitionMetrics::compute(&graph, &partition).unwrap();
+        assert!(metrics.replication_factor >= 1.0, "{}", partitioner.name());
+
+        let distributed = DistributedGraph::build(&graph, &partition).unwrap();
+        for engine in [BspEngine::sequential(), BspEngine::threaded()] {
+            let cc = engine.run(&distributed, &ConnectedComponents::new()).unwrap();
+            assert_eq!(cc.values, expected_cc, "{} CC", partitioner.name());
+
+            let sssp = engine
+                .run(&distributed, &SingleSourceShortestPath::new(VertexId::new(0)))
+                .unwrap();
+            assert_eq!(sssp.values, expected_sssp, "{} SSSP", partitioner.name());
+        }
+    }
+}
+
+/// PageRank through the whole stack agrees with the sequential reference.
+#[test]
+fn pagerank_through_the_whole_stack() {
+    let graph = RmatGenerator::new(8, 8).with_seed(4).generate().unwrap();
+    let expected = pagerank_reference(&graph, 12, 0.85);
+    for partitioner in paper_partitioners() {
+        let partition = partitioner.partition(&graph, 5).unwrap();
+        let distributed = DistributedGraph::build(&graph, &partition).unwrap();
+        let outcome = BspEngine::sequential()
+            .run(&distributed, &PageRank::new(&graph, 12))
+            .unwrap();
+        for (a, b) in ranks(&outcome.values).iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", partitioner.name());
+        }
+    }
+}
+
+/// The grid ("road") graph round-trips through the text edge-list format and
+/// still produces identical partitions and statistics.
+#[test]
+fn io_roundtrip_preserves_partitioning_behaviour() {
+    let graph = GridGenerator::new(20, 20).with_seed(3).generate().unwrap();
+    let mut buffer = Vec::new();
+    write_edge_list(&graph, &mut buffer).unwrap();
+    let reread = read_edge_list(buffer.as_slice(), EdgeListOptions::default()).unwrap();
+
+    let stats_a = GraphStats::compute("original", &graph).unwrap();
+    let stats_b = GraphStats::compute("reread", &reread).unwrap();
+    assert_eq!(stats_a.num_vertices, stats_b.num_vertices);
+    assert_eq!(stats_a.num_edges, stats_b.num_edges);
+
+    let ebv = EbvPartitioner::new();
+    let a = ebv.partition(&graph, 4).unwrap();
+    let b = ebv.partition(&reread, 4).unwrap();
+    assert_eq!(
+        PartitionMetrics::compute(&graph, &a).unwrap(),
+        PartitionMetrics::compute(&reread, &b).unwrap()
+    );
+}
+
+/// The execution statistics expose the communication counters the paper's
+/// Tables IV/V are built from, and the cost model turns them into a
+/// breakdown with consistent totals.
+#[test]
+fn statistics_and_cost_model_are_consistent() {
+    let graph = RmatGenerator::new(9, 8).with_seed(13).generate().unwrap();
+    let partition = EbvPartitioner::new().partition(&graph, 4).unwrap();
+    let distributed = DistributedGraph::build(&graph, &partition).unwrap();
+    let outcome = BspEngine::sequential()
+        .run(&distributed, &ConnectedComponents::new())
+        .unwrap();
+
+    let stats = &outcome.stats;
+    assert_eq!(stats.num_supersteps(), outcome.supersteps);
+    let per_worker = stats.messages_sent_per_worker();
+    assert_eq!(per_worker.len(), 4);
+    assert_eq!(per_worker.iter().sum::<usize>(), stats.total_messages());
+    assert!(stats.message_max_mean_ratio() >= 1.0);
+
+    let breakdown = CostModel::default().breakdown(stats);
+    assert!(breakdown.execution_time > 0.0);
+    assert!(breakdown.comp > 0.0);
+    assert_eq!(breakdown.timelines.len(), 4);
+    for timeline in &breakdown.timelines {
+        assert_eq!(timeline.len(), outcome.supersteps);
+    }
+}
+
+/// Different EBV edge orders change the replication factor but never the
+/// correctness of the applications running on top.
+#[test]
+fn edge_order_changes_quality_not_correctness() {
+    let graph = RmatGenerator::new(8, 8).with_seed(17).generate().unwrap();
+    let expected = cc_reference(&graph);
+    for order in [
+        EdgeOrder::DegreeSumAscending,
+        EdgeOrder::Input,
+        EdgeOrder::DegreeSumDescending,
+        EdgeOrder::Random(5),
+    ] {
+        let partitioner = EbvPartitioner::new().with_order(order);
+        let partition = partitioner.partition(&graph, 4).unwrap();
+        let distributed = DistributedGraph::build(&graph, &partition).unwrap();
+        let outcome = BspEngine::sequential()
+            .run(&distributed, &ConnectedComponents::new())
+            .unwrap();
+        assert_eq!(outcome.values, expected, "{order:?}");
+    }
+}
