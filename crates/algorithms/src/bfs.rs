@@ -52,11 +52,11 @@ impl SubgraphProgram for BreadthFirstSearch {
         let n = ctx.subgraph().num_vertices();
         let mut changed = vec![false; n];
 
-        for local in 0..n {
+        for (local, was_changed) in changed.iter_mut().enumerate() {
             if let Some(min) = ctx.messages(local).iter().copied().min() {
                 if min < *ctx.value(local) {
                     ctx.set_value(local, min);
-                    changed[local] = true;
+                    *was_changed = true;
                 }
             }
         }
@@ -85,8 +85,8 @@ impl SubgraphProgram for BreadthFirstSearch {
         }
 
         let mut updates = 0usize;
-        for local in 0..n {
-            if changed[local] {
+        for (local, &was_changed) in changed.iter().enumerate() {
+            if was_changed {
                 updates += 1;
                 let depth = *ctx.value(local);
                 ctx.send_to_replicas(local, depth);
@@ -125,6 +125,9 @@ mod tests {
             .run(&dg, &BreadthFirstSearch::new(VertexId::new(0)))
             .unwrap();
         assert_eq!(outcome.values, vec![0, 1, 2, 3, 4, 5]);
-        assert_eq!(BreadthFirstSearch::new(VertexId::new(0)).root(), VertexId::new(0));
+        assert_eq!(
+            BreadthFirstSearch::new(VertexId::new(0)).root(),
+            VertexId::new(0)
+        );
     }
 }

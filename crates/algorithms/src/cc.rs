@@ -61,11 +61,11 @@ impl SubgraphProgram for ConnectedComponents {
 
         // Fold replica labels received during the previous communication
         // stage.
-        for local in 0..n {
+        for (local, was_changed) in changed.iter_mut().enumerate() {
             if let Some(min) = ctx.messages(local).iter().copied().min() {
                 if min < *ctx.value(local) {
                     ctx.set_value(local, min);
-                    changed[local] = true;
+                    *was_changed = true;
                 }
             }
         }
@@ -98,8 +98,8 @@ impl SubgraphProgram for ConnectedComponents {
 
         // Ship changed boundary labels to the other replicas.
         let mut updates = 0usize;
-        for local in 0..n {
-            if changed[local] {
+        for (local, &was_changed) in changed.iter().enumerate() {
+            if was_changed {
                 updates += 1;
                 let label = *ctx.value(local);
                 ctx.send_to_replicas(local, label);
@@ -155,11 +155,7 @@ mod tests {
     #[test]
     fn disconnected_components_get_distinct_labels() {
         let graph = named::two_triangles();
-        let labels = run_cc(
-            &graph,
-            &ebv_partition::EbvPartitioner::new(),
-            3,
-        );
+        let labels = run_cc(&graph, &ebv_partition::EbvPartitioner::new(), 3);
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[1], labels[2]);
         assert_eq!(labels[3], labels[4]);

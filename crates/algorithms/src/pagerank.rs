@@ -101,7 +101,7 @@ impl SubgraphProgram for PageRank {
         superstep: usize,
     ) -> usize {
         let n = ctx.subgraph().num_vertices();
-        let gather_phase = superstep % 2 == 0;
+        let gather_phase = superstep.is_multiple_of(2);
         let mut updates = 0usize;
 
         if gather_phase {
@@ -157,8 +157,7 @@ impl SubgraphProgram for PageRank {
                 let incoming: f64 = ctx.messages(local).iter().sum();
                 let mut value = *ctx.value(local);
                 let total = value.partial + incoming;
-                value.rank = (1.0 - self.damping) / self.num_vertices as f64
-                    + self.damping * total;
+                value.rank = (1.0 - self.damping) / self.num_vertices as f64 + self.damping * total;
                 value.partial = 0.0;
                 ctx.set_value(local, value);
                 ctx.add_work(1);
@@ -192,7 +191,12 @@ mod tests {
     use ebv_graph::generators::{named, GraphGenerator, RmatGenerator};
     use ebv_partition::{paper_partitioners, EbvPartitioner, Partitioner};
 
-    fn run_pagerank(graph: &Graph, partitioner: &dyn Partitioner, p: usize, iters: usize) -> Vec<f64> {
+    fn run_pagerank(
+        graph: &Graph,
+        partitioner: &dyn Partitioner,
+        p: usize,
+        iters: usize,
+    ) -> Vec<f64> {
         let partition = partitioner.partition(graph, p).unwrap();
         let dg = DistributedGraph::build(graph, &partition).unwrap();
         let program = PageRank::new(graph, iters);
@@ -236,8 +240,8 @@ mod tests {
         let graph = named::star_graph(20).unwrap();
         let got = run_pagerank(&graph, &EbvPartitioner::new(), 4, 15);
         let hub = got[0];
-        for leaf in 1..=20 {
-            assert!(hub > got[leaf], "hub {hub} vs leaf {}", got[leaf]);
+        for &leaf_rank in &got[1..=20] {
+            assert!(hub > leaf_rank, "hub {hub} vs leaf {leaf_rank}");
         }
     }
 

@@ -13,7 +13,7 @@ pub fn cc_reference(graph: &Graph) -> Vec<u64> {
     let n = graph.num_vertices();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -37,8 +37,8 @@ pub fn cc_reference(graph: &Graph) -> Vec<u64> {
     // Two passes of path compression toward the minimum root give each
     // vertex the smallest identifier of its component.
     let mut labels = vec![0u64; n];
-    for v in 0..n {
-        labels[v] = find(&mut parent, v) as u64;
+    for (v, label) in labels.iter_mut().enumerate() {
+        *label = find(&mut parent, v) as u64;
     }
     labels
 }
@@ -74,7 +74,10 @@ pub fn sssp_reference(graph: &Graph, source: VertexId) -> Vec<u64> {
 pub fn pagerank_reference(graph: &Graph, iterations: usize, damping: f64) -> Vec<f64> {
     let n = graph.num_vertices();
     let mut ranks = vec![1.0 / n as f64; n];
-    let out_degrees: Vec<u64> = graph.vertices().map(|v| graph.out_degree(v) as u64).collect();
+    let out_degrees: Vec<u64> = graph
+        .vertices()
+        .map(|v| graph.out_degree(v) as u64)
+        .collect();
     for _ in 0..iterations {
         let mut incoming = vec![0.0f64; n];
         for v in graph.vertices() {

@@ -73,11 +73,11 @@ impl SubgraphProgram for SingleSourceShortestPath {
         let n = ctx.subgraph().num_vertices();
         let mut changed = vec![false; n];
 
-        for local in 0..n {
+        for (local, was_changed) in changed.iter_mut().enumerate() {
             if let Some(min) = ctx.messages(local).iter().copied().min() {
                 if min < *ctx.value(local) {
                     ctx.set_value(local, min);
-                    changed[local] = true;
+                    *was_changed = true;
                 }
             }
         }
@@ -107,8 +107,8 @@ impl SubgraphProgram for SingleSourceShortestPath {
         }
 
         let mut updates = 0usize;
-        for local in 0..n {
-            if changed[local] {
+        for (local, &was_changed) in changed.iter().enumerate() {
+            if was_changed {
                 updates += 1;
                 let distance = *ctx.value(local);
                 ctx.send_to_replicas(local, distance);

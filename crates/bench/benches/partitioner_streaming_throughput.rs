@@ -1,0 +1,75 @@
+//! Criterion bench: one-pass streaming partitioning throughput (edges per
+//! second) of the `ebv-stream` chunked pipeline, alongside the batch
+//! `partitioner_throughput` bench, plus a peak-resident-memory proxy
+//! (`StreamingPartitioner::state_bytes` after the full stream) for each
+//! streaming algorithm — the number that stays bounded when the edge list
+//! does not fit in memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ebv_partition::{
+    DbhPartitioner, EbvPartitioner, HdrfPartitioner, RandomVertexCutPartitioner, StreamConfig,
+    StreamingPartitioner,
+};
+use ebv_stream::{ChunkedPipeline, EdgeSource, RmatEdgeStream};
+
+const SCALE: u32 = 15;
+const NUM_EDGES: usize = 300_000;
+const WORKERS: usize = 8;
+const CHUNK_SIZE: usize = 1 << 14;
+
+fn stream() -> RmatEdgeStream {
+    RmatEdgeStream::new(SCALE, NUM_EDGES).with_seed(3)
+}
+
+fn make(name: &str, config: StreamConfig) -> Box<dyn StreamingPartitioner> {
+    match name {
+        "EBV" => Box::new(EbvPartitioner::new().streaming(config).unwrap()),
+        "HDRF" => Box::new(HdrfPartitioner::new().streaming(config).unwrap()),
+        "DBH" => Box::new(DbhPartitioner::new().streaming(config).unwrap()),
+        "Random-VC" => Box::new(RandomVertexCutPartitioner::new().streaming(config).unwrap()),
+        other => panic!("unknown streaming partitioner {other}"),
+    }
+}
+
+fn partitioner_streaming_throughput(c: &mut Criterion) {
+    let config = stream().stream_config(WORKERS);
+    let pipeline = ChunkedPipeline::new(CHUNK_SIZE);
+
+    let mut group = c.benchmark_group("partitioner_streaming_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(NUM_EDGES as u64));
+    for name in ["EBV", "HDRF", "DBH", "Random-VC"] {
+        // Report the memory proxy once per algorithm: partitioner state
+        // after ingesting the full stream (membership bits, counters,
+        // degree tables, assignment log) — the resident footprint of the
+        // streaming path, which excludes any global edge vector.
+        let mut probe = make(name, config);
+        pipeline
+            .run(stream(), probe.as_mut(), |_, _| {})
+            .expect("the synthetic stream is infallible");
+        eprintln!(
+            "  {name}: state_bytes after {NUM_EDGES} edges = {} ({:.1} B/edge)",
+            probe.state_bytes(),
+            probe.state_bytes() as f64 / NUM_EDGES as f64
+        );
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &pipeline,
+            |b, pipeline| {
+                b.iter(|| {
+                    let mut partitioner = make(name, config);
+                    let (result, _) = pipeline
+                        .partition_stream(stream(), partitioner.as_mut())
+                        .expect("the synthetic stream is infallible");
+                    result
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioner_streaming_throughput);
+criterion_main!(benches);

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let variants: Vec<(&str, EbvPartitioner)> = vec![
         ("full (alpha=beta=1, sorted)", EbvPartitioner::new()),
-        ("replication-only (alpha=beta=0)", EbvPartitioner::new().with_alpha(0.0).with_beta(0.0)),
+        (
+            "replication-only (alpha=beta=0)",
+            EbvPartitioner::new().with_alpha(0.0).with_beta(0.0),
+        ),
         (
             "balance-dominated (alpha=beta=100)",
             EbvPartitioner::new().with_alpha(100.0).with_beta(100.0),

@@ -10,7 +10,16 @@ use ebv_graph::GraphStats;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_env();
     let mut table = TextTable::new("Table I: Statistics of tested graphs (synthetic substitutes)");
-    table.headers(["Graph", "Substitutes for", "Type", "V", "E", "AvgDeg", "eta", "power-law"]);
+    table.headers([
+        "Graph",
+        "Substitutes for",
+        "Type",
+        "V",
+        "E",
+        "AvgDeg",
+        "eta",
+        "power-law",
+    ]);
 
     for dataset in Dataset::all() {
         let graph = dataset.generate(scale)?;

@@ -15,9 +15,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = Dataset::livejournal_like().generate(scale)?;
     let cost_model = CostModel::default();
 
-    let mut table =
-        TextTable::new("Table II: breakdown (modeled seconds) of CC with 4 workers, LiveJournal-like");
-    table.headers(["Partitioner", "comp", "comm", "deltaC", "Execution time", "supersteps"]);
+    let mut table = TextTable::new(
+        "Table II: breakdown (modeled seconds) of CC with 4 workers, LiveJournal-like",
+    );
+    table.headers([
+        "Partitioner",
+        "comp",
+        "comm",
+        "deltaC",
+        "Execution time",
+        "supersteps",
+    ]);
 
     for partitioner in paper_partitioners() {
         let result = run_experiment(

@@ -152,12 +152,12 @@ impl Dataset {
                 .with_deletion_probability(0.05)
                 .with_seed(42)
                 .generate(),
-            (DatasetKind::LiveJournalLike, Scale::Small) => {
-                BarabasiAlbertGenerator::new(6_000, 7).with_seed(7).generate()
-            }
-            (DatasetKind::LiveJournalLike, Scale::Full) => {
-                BarabasiAlbertGenerator::new(60_000, 7).with_seed(7).generate()
-            }
+            (DatasetKind::LiveJournalLike, Scale::Small) => BarabasiAlbertGenerator::new(6_000, 7)
+                .with_seed(7)
+                .generate(),
+            (DatasetKind::LiveJournalLike, Scale::Full) => BarabasiAlbertGenerator::new(60_000, 7)
+                .with_seed(7)
+                .generate(),
             (DatasetKind::TwitterLike, Scale::Small) => RmatGenerator::new(13, 16)
                 .with_probabilities(0.62, 0.18, 0.15)
                 .with_seed(11)
@@ -192,7 +192,10 @@ mod tests {
         let all = Dataset::all();
         assert_eq!(all.len(), 4);
         let names: Vec<&str> = all.iter().map(|d| d.substitutes_for).collect();
-        assert_eq!(names, vec!["USARoad", "LiveJournal", "Friendster", "Twitter"]);
+        assert_eq!(
+            names,
+            vec!["USARoad", "LiveJournal", "Friendster", "Twitter"]
+        );
         assert_eq!(Dataset::power_law_sets().len(), 3);
     }
 

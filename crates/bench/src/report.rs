@@ -116,10 +116,7 @@ mod tests {
         assert!(rendered.contains("livejournal-like"));
         assert_eq!(table.num_rows(), 2);
         // Every data line has the separator in the same position.
-        let lines: Vec<&str> = rendered
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let lines: Vec<&str> = rendered.lines().filter(|l| l.contains('|')).collect();
         let positions: Vec<usize> = lines.iter().map(|l| l.find('|').unwrap()).collect();
         assert!(positions.windows(2).all(|w| w[0] == w[1]));
     }

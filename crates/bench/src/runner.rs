@@ -62,8 +62,10 @@ impl Application {
                 Ok((outcome.stats, outcome.supersteps))
             }
             Application::Sssp => {
-                let outcome =
-                    engine.run(distributed, &SingleSourceShortestPath::new(VertexId::new(0)))?;
+                let outcome = engine.run(
+                    distributed,
+                    &SingleSourceShortestPath::new(VertexId::new(0)),
+                )?;
                 Ok((outcome.stats, outcome.supersteps))
             }
             Application::PageRank { iterations } => {
@@ -180,14 +182,9 @@ mod tests {
                 Application::Sssp,
                 Application::PageRank { iterations: 3 },
             ] {
-                let result = run_experiment(
-                    &graph,
-                    partitioner.as_ref(),
-                    4,
-                    app,
-                    &CostModel::default(),
-                )
-                .unwrap();
+                let result =
+                    run_experiment(&graph, partitioner.as_ref(), 4, app, &CostModel::default())
+                        .unwrap();
                 assert!(result.supersteps > 0, "{} {:?}", partitioner.name(), app);
             }
         }

@@ -283,12 +283,12 @@ mod tests {
             let n = ctx.subgraph().num_vertices();
             // Merge incoming replica values.
             let mut changed: Vec<bool> = vec![false; n];
-            for i in 0..n {
+            for (i, was_changed) in changed.iter_mut().enumerate() {
                 let incoming_min = ctx.messages(i).iter().copied().min();
                 if let Some(m) = incoming_min {
                     if m < *ctx.value(i) {
                         ctx.set_value(i, m);
-                        changed[i] = true;
+                        *was_changed = true;
                     }
                 }
             }
@@ -323,8 +323,8 @@ mod tests {
                 }
             }
             // Ship changed boundary values to the other replicas.
-            for i in 0..n {
-                if changed[i] {
+            for (i, &was_changed) in changed.iter().enumerate() {
+                if was_changed {
                     let value = *ctx.value(i);
                     ctx.send_to_replicas(i, value);
                 }
@@ -410,8 +410,13 @@ mod tests {
         let g = named::two_triangles();
         let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
         let dg = DistributedGraph::build(&g, &partition).unwrap();
-        let err = BspEngine::sequential().run(&dg, &NeverConverges).unwrap_err();
-        assert!(matches!(err, BspError::DidNotConverge { max_supersteps: 5 }));
+        let err = BspEngine::sequential()
+            .run(&dg, &NeverConverges)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BspError::DidNotConverge { max_supersteps: 5 }
+        ));
     }
 
     /// A fixed-iteration program runs exactly `max_supersteps` supersteps.

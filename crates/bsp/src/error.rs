@@ -42,7 +42,10 @@ impl fmt::Display for BspError {
                 write!(f, "invalid parameter `{parameter}`: {message}")
             }
             BspError::DidNotConverge { max_supersteps } => {
-                write!(f, "program did not converge within {max_supersteps} supersteps")
+                write!(
+                    f,
+                    "program did not converge within {max_supersteps} supersteps"
+                )
             }
             BspError::Graph(err) => write!(f, "graph error: {err}"),
             BspError::Partition(err) => write!(f, "partition error: {err}"),

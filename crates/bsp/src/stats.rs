@@ -176,8 +176,8 @@ impl CostModel {
                 .iter()
                 .map(|w| {
                     let comp = w.work as f64 * self.seconds_per_work_unit;
-                    let comm = (w.messages_sent + w.messages_received) as f64
-                        * self.seconds_per_message;
+                    let comm =
+                        (w.messages_sent + w.messages_received) as f64 * self.seconds_per_message;
                     (comp, comm)
                 })
                 .collect();

@@ -237,65 +237,59 @@ impl DistributedGraph {
             }
         }
 
-        // Replica sets and master election.
-        let mut incident_count: Vec<HashMap<PartitionId, usize>> = vec![HashMap::new(); n];
-        for (i, edges) in edges_per_part.iter().enumerate() {
-            let part = PartitionId::from_index(i);
-            for e in edges {
-                *incident_count[e.src.index()].entry(part).or_insert(0) += 1;
-                *incident_count[e.dst.index()].entry(part).or_insert(0) += 1;
-            }
-        }
-        let mut master = vec![PartitionId::default(); n];
-        let mut replicas: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
-        let mut isolated_per_part: Vec<Vec<VertexId>> = vec![Vec::new(); p];
-        for v in 0..n {
-            let mut holders: Vec<(PartitionId, usize)> =
-                incident_count[v].iter().map(|(&p, &c)| (p, c)).collect();
-            holders.sort_by_key(|&(p, _)| p);
-            replicas[v] = holders.iter().map(|&(p, _)| p).collect();
-            master[v] = match partition {
-                // Edge-cut: the owner of the vertex is its master.
-                PartitionResult::EdgeCut(ec) => ec.part_of(VertexId::from(v)),
-                // Vertex-cut: the replica with the most incident edges.
-                PartitionResult::VertexCut(_) => holders
-                    .iter()
-                    .max_by_key(|&&(p, c)| (c, std::cmp::Reverse(p)))
-                    .map(|&(p, _)| p)
-                    .unwrap_or_default(),
-            };
-            // Isolated vertices appear in no edge list; place them (single
-            // replica, master) in a partition chosen round-robin so that
-            // every vertex is processed by exactly one worker.
-            if replicas[v].is_empty() {
-                let home = PartitionId::from_index(v % p);
-                master[v] = home;
-                replicas[v] = vec![home];
-                isolated_per_part[home.index()].push(VertexId::from(v));
-            }
-        }
+        let master_rule = match partition {
+            // Edge-cut: the owner of the vertex is its master.
+            PartitionResult::EdgeCut(ec) => MasterRule::Owner(ec),
+            // Vertex-cut: the replica with the most incident edges.
+            PartitionResult::VertexCut(_) => MasterRule::IncidentMajority,
+        };
+        Ok(assemble(
+            p,
+            n,
+            graph.num_edges(),
+            edges_per_part,
+            owned_per_part,
+            master_rule,
+        ))
+    }
 
-        let subgraphs = edges_per_part
-            .into_iter()
-            .zip(owned_per_part)
-            .enumerate()
-            .map(|(i, (edges, owned))| {
-                Subgraph::build(
-                    PartitionId::from_index(i),
-                    edges,
-                    owned,
-                    &isolated_per_part[i],
-                    &master,
-                )
-            })
-            .collect();
+    /// Assembles a distributed graph directly from a stream of already
+    /// assigned edges — the vertex-cut path of [`DistributedGraph::build`]
+    /// without ever materializing a global [`Graph`] or edge vector.
+    ///
+    /// `num_vertices` optionally declares the vertex universe so that
+    /// isolated vertices (never mentioned by the stream) still get a home
+    /// worker; when `None` the universe is implied by the largest endpoint
+    /// streamed. Feed it from `ebv-stream`'s chunked pipeline, whose sink
+    /// yields exactly `(Edge, PartitionId)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::InvalidParameter`] for a zero partition count and
+    /// [`BspError::PartitionMismatch`] when the stream references a
+    /// partition `>= num_partitions`.
+    pub fn build_streaming<I>(
+        num_partitions: usize,
+        num_vertices: Option<usize>,
+        assigned_edges: I,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Edge, PartitionId)>,
+    {
+        let mut builder = DistributedGraphBuilder::new(num_partitions)?;
+        if let Some(n) = num_vertices {
+            builder = builder.with_num_vertices(n);
+        }
+        for (edge, part) in assigned_edges {
+            builder.add_edge(edge, part)?;
+        }
+        builder.finish()
+    }
 
-        Ok(DistributedGraph {
-            subgraphs,
-            replicas: ReplicaTable { master, replicas },
-            num_vertices: n,
-            num_edges: graph.num_edges(),
-        })
+    /// Incrementally assembles a distributed graph; see
+    /// [`DistributedGraphBuilder`].
+    pub fn builder(num_partitions: usize) -> Result<DistributedGraphBuilder> {
+        DistributedGraphBuilder::new(num_partitions)
     }
 
     /// Number of workers (subgraphs).
@@ -334,6 +328,219 @@ impl DistributedGraph {
     }
 }
 
+/// How the master replica of a vertex is elected during assembly.
+enum MasterRule<'a> {
+    /// Vertex-cut: the replica holding the most incident edges (ties toward
+    /// the lower partition id).
+    IncidentMajority,
+    /// Edge-cut: the partition owning the vertex.
+    Owner(&'a ebv_partition::VertexPartition),
+}
+
+/// Shared final assembly step: replica sets, master election, isolated
+/// vertex placement and per-worker subgraph construction. Both
+/// [`DistributedGraph::build`] and [`DistributedGraphBuilder::finish`] end
+/// here, which is what keeps the streaming and batch paths structurally
+/// identical.
+fn assemble(
+    p: usize,
+    n: usize,
+    num_edges: usize,
+    edges_per_part: Vec<Vec<Edge>>,
+    owned_per_part: Vec<Vec<bool>>,
+    master_rule: MasterRule<'_>,
+) -> DistributedGraph {
+    let mut incident_count: Vec<HashMap<PartitionId, usize>> = vec![HashMap::new(); n];
+    for (i, edges) in edges_per_part.iter().enumerate() {
+        let part = PartitionId::from_index(i);
+        for e in edges {
+            *incident_count[e.src.index()].entry(part).or_insert(0) += 1;
+            *incident_count[e.dst.index()].entry(part).or_insert(0) += 1;
+        }
+    }
+    let mut master = vec![PartitionId::default(); n];
+    let mut replicas: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
+    let mut isolated_per_part: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    for v in 0..n {
+        let mut holders: Vec<(PartitionId, usize)> =
+            incident_count[v].iter().map(|(&p, &c)| (p, c)).collect();
+        holders.sort_by_key(|&(p, _)| p);
+        replicas[v] = holders.iter().map(|&(p, _)| p).collect();
+        master[v] = match master_rule {
+            MasterRule::Owner(ec) => ec.part_of(VertexId::from(v)),
+            MasterRule::IncidentMajority => holders
+                .iter()
+                .max_by_key(|&&(p, c)| (c, std::cmp::Reverse(p)))
+                .map(|&(p, _)| p)
+                .unwrap_or_default(),
+        };
+        // Isolated vertices appear in no edge list; place them (single
+        // replica, master) in a partition chosen round-robin so that
+        // every vertex is processed by exactly one worker.
+        if replicas[v].is_empty() {
+            let home = PartitionId::from_index(v % p);
+            master[v] = home;
+            replicas[v] = vec![home];
+            isolated_per_part[home.index()].push(VertexId::from(v));
+        }
+    }
+
+    let subgraphs = edges_per_part
+        .into_iter()
+        .zip(owned_per_part)
+        .enumerate()
+        .map(|(i, (edges, owned))| {
+            Subgraph::build(
+                PartitionId::from_index(i),
+                edges,
+                owned,
+                &isolated_per_part[i],
+                &master,
+            )
+        })
+        .collect();
+
+    DistributedGraph {
+        subgraphs,
+        replicas: ReplicaTable { master, replicas },
+        num_vertices: n,
+        num_edges,
+    }
+}
+
+/// Incremental, streaming-friendly construction of a [`DistributedGraph`].
+///
+/// Edges arrive one at a time, already assigned to their partition (for
+/// example by an
+/// [`ebv_partition::StreamingPartitioner`]); the builder routes each edge
+/// to its worker's edge list immediately, so peak memory is the final
+/// per-worker state — no global edge vector is ever held. Master election
+/// and replica bookkeeping happen once, in [`finish`](Self::finish), through
+/// the same assembly step as the batch [`DistributedGraph::build`], so a
+/// streamed distribution is structurally identical to the batch
+/// distribution of the same assignment.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_bsp::DistributedGraph;
+/// use ebv_graph::Edge;
+/// use ebv_partition::PartitionId;
+///
+/// # fn main() -> Result<(), ebv_bsp::BspError> {
+/// let mut builder = DistributedGraph::builder(2)?;
+/// builder.add_edge(Edge::from((0u64, 1u64)), PartitionId::new(0))?;
+/// builder.add_edge(Edge::from((1u64, 2u64)), PartitionId::new(1))?;
+/// let distributed = builder.finish()?;
+/// assert_eq!(distributed.num_workers(), 2);
+/// assert_eq!(distributed.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributedGraphBuilder {
+    num_partitions: usize,
+    num_vertices_hint: Option<usize>,
+    edges_per_part: Vec<Vec<Edge>>,
+    max_vertex_exclusive: usize,
+    num_edges: usize,
+}
+
+impl DistributedGraphBuilder {
+    /// Creates a builder for `num_partitions` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::InvalidParameter`] when `num_partitions` is zero.
+    pub fn new(num_partitions: usize) -> Result<Self> {
+        if num_partitions == 0 {
+            return Err(BspError::InvalidParameter {
+                parameter: "num_partitions",
+                message: "at least one partition is required".to_string(),
+            });
+        }
+        Ok(DistributedGraphBuilder {
+            num_partitions,
+            num_vertices_hint: None,
+            edges_per_part: vec![Vec::new(); num_partitions],
+            max_vertex_exclusive: 0,
+            num_edges: 0,
+        })
+    }
+
+    /// Declares the vertex universe `0..n` up front, so vertices never
+    /// mentioned by the stream are still placed as isolated masters.
+    pub fn with_num_vertices(mut self, n: usize) -> Self {
+        self.num_vertices_hint = Some(n);
+        self
+    }
+
+    /// Routes one assigned edge to its worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::PartitionMismatch`] when `part` is out of range.
+    pub fn add_edge(&mut self, edge: Edge, part: PartitionId) -> Result<()> {
+        if part.index() >= self.num_partitions {
+            return Err(BspError::PartitionMismatch {
+                message: format!(
+                    "edge assigned to partition {part} but only {} partitions exist",
+                    self.num_partitions
+                ),
+            });
+        }
+        let needed = edge.src.index().max(edge.dst.index()) + 1;
+        if needed > self.max_vertex_exclusive {
+            self.max_vertex_exclusive = needed;
+        }
+        self.edges_per_part[part.index()].push(edge);
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Number of edges routed so far.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Elects masters, fills the replica table and produces the
+    /// [`DistributedGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::PartitionMismatch`] when a declared vertex count
+    /// is smaller than the largest streamed endpoint.
+    pub fn finish(self) -> Result<DistributedGraph> {
+        let n = match self.num_vertices_hint {
+            Some(hint) => {
+                if hint < self.max_vertex_exclusive {
+                    return Err(BspError::PartitionMismatch {
+                        message: format!(
+                            "declared {hint} vertices but the stream references vertex {}",
+                            self.max_vertex_exclusive - 1
+                        ),
+                    });
+                }
+                hint
+            }
+            None => self.max_vertex_exclusive,
+        };
+        let owned_per_part = self
+            .edges_per_part
+            .iter()
+            .map(|edges| vec![true; edges.len()])
+            .collect();
+        Ok(assemble(
+            self.num_partitions,
+            n,
+            self.num_edges,
+            self.edges_per_part,
+            owned_per_part,
+            MasterRule::IncidentMajority,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,11 +570,7 @@ mod tests {
             let master_count = dg
                 .subgraphs()
                 .iter()
-                .filter(|s| {
-                    s.local_index_of(v)
-                        .map(|i| s.is_master(i))
-                        .unwrap_or(false)
-                })
+                .filter(|s| s.local_index_of(v).map(|i| s.is_master(i)).unwrap_or(false))
                 .count();
             if dg.replicas().replica_count(v) > 0 {
                 assert_eq!(master_count, 1, "vertex {v}");
@@ -434,17 +637,90 @@ mod tests {
             for (li, v) in s.vertices().iter().enumerate() {
                 assert_eq!(s.local_index_of(*v), Some(li));
                 assert_eq!(s.vertex_at(li), *v);
-                let out_edges = s
-                    .edges()
-                    .iter()
-                    .filter(|e| e.src == *v)
-                    .count();
+                let out_edges = s.edges().iter().filter(|e| e.src == *v).count();
                 assert_eq!(s.out_neighbors(li).len(), out_edges);
                 let in_edges = s.edges().iter().filter(|e| e.dst == *v).count();
                 assert_eq!(s.in_neighbors(li).len(), in_edges);
             }
             assert!(s.master_indices().count() <= s.num_vertices());
         }
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_build() {
+        let g = ebv_graph::generators::named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 3).unwrap();
+        let batch = DistributedGraph::build(&g, &partition).unwrap();
+        let vc = partition.as_vertex_cut().unwrap();
+        let streamed = DistributedGraph::build_streaming(
+            3,
+            Some(g.num_vertices()),
+            g.edges()
+                .iter()
+                .copied()
+                .zip(vc.assignment().iter().copied()),
+        )
+        .unwrap();
+        assert_eq!(streamed.num_workers(), batch.num_workers());
+        assert_eq!(streamed.num_vertices(), batch.num_vertices());
+        assert_eq!(streamed.num_edges(), batch.num_edges());
+        for v in g.vertices() {
+            assert_eq!(
+                streamed.replicas().master_of(v),
+                batch.replicas().master_of(v),
+                "vertex {v}"
+            );
+            assert_eq!(
+                streamed.replicas().replicas_of(v),
+                batch.replicas().replicas_of(v),
+                "vertex {v}"
+            );
+        }
+        for (s, b) in streamed.subgraphs().iter().zip(batch.subgraphs()) {
+            assert_eq!(s.edges(), b.edges());
+            assert_eq!(s.vertices(), b.vertices());
+        }
+    }
+
+    #[test]
+    fn streaming_builder_places_isolated_vertices() {
+        let streamed = DistributedGraph::build_streaming(
+            2,
+            Some(5),
+            vec![(Edge::from((0u64, 1u64)), PartitionId::new(0))],
+        )
+        .unwrap();
+        assert_eq!(streamed.num_vertices(), 5);
+        // Vertices 2..5 are isolated; each still has exactly one master.
+        for v in 2..5u64 {
+            assert_eq!(streamed.replicas().replica_count(VertexId::new(v)), 1);
+        }
+    }
+
+    #[test]
+    fn streaming_builder_rejects_bad_input() {
+        assert!(DistributedGraphBuilder::new(0).is_err());
+        let mut builder = DistributedGraphBuilder::new(2).unwrap();
+        assert!(builder
+            .add_edge(Edge::from((0u64, 1u64)), PartitionId::new(5))
+            .is_err());
+        builder
+            .add_edge(Edge::from((0u64, 9u64)), PartitionId::new(1))
+            .unwrap();
+        assert_eq!(builder.num_edges(), 1);
+        // Hint smaller than the largest streamed endpoint.
+        let too_small = builder.clone().with_num_vertices(3);
+        assert!(too_small.finish().is_err());
+    }
+
+    #[test]
+    fn empty_stream_with_hint_yields_isolated_only_workers() {
+        let streamed = DistributedGraph::build_streaming(3, Some(4), Vec::new()).unwrap();
+        assert_eq!(streamed.num_workers(), 3);
+        assert_eq!(streamed.num_edges(), 0);
+        assert_eq!(streamed.num_vertices(), 4);
+        let total_vertices: usize = streamed.subgraphs().iter().map(|s| s.num_vertices()).sum();
+        assert_eq!(total_vertices, 4);
     }
 
     #[test]

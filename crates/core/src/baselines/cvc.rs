@@ -40,7 +40,7 @@ impl CvcPartitioner {
         let mut best = (1, num_partitions);
         let mut r = 1;
         while r * r <= num_partitions {
-            if num_partitions % r == 0 {
+            if num_partitions.is_multiple_of(r) {
                 best = (r, num_partitions / r);
             }
             r += 1;
@@ -92,10 +92,7 @@ mod tests {
         let p = 16;
         let (rows, cols) = CvcPartitioner::grid_shape(p);
         let result = CvcPartitioner::new().partition(&g, p).unwrap();
-        let membership = result
-            .as_vertex_cut()
-            .unwrap()
-            .vertex_membership(&g);
+        let membership = result.as_vertex_cut().unwrap().vertex_membership(&g);
         for v in g.vertices() {
             assert!(
                 membership.replica_count(v) <= rows + cols,
@@ -116,7 +113,11 @@ mod tests {
         let g = RmatGenerator::new(10, 8).with_seed(5).generate().unwrap();
         let result = CvcPartitioner::new().partition(&g, 16).unwrap();
         let m = PartitionMetrics::compute(&g, &result).unwrap();
-        assert!(m.edge_imbalance < 1.6, "edge imbalance {}", m.edge_imbalance);
+        assert!(
+            m.edge_imbalance < 1.6,
+            "edge imbalance {}",
+            m.edge_imbalance
+        );
         assert!(m.replication_factor > 1.0);
     }
 

@@ -47,6 +47,19 @@ impl DbhPartitioner {
         self.salt = salt;
         self
     }
+
+    /// Creates the streaming (greedy one-pass) form of this partitioner,
+    /// which hashes the endpoint with the lower degree *observed so far* —
+    /// full degrees are unavailable online, so this intentionally differs
+    /// from the batch assignment (see [`crate::streaming`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PartitionError::InvalidPartitionCount`] for a zero
+    /// partition count.
+    pub fn streaming(&self, config: crate::StreamConfig) -> crate::Result<crate::StreamingDbh> {
+        crate::StreamingDbh::from_parts(self.salt, config)
+    }
 }
 
 impl Partitioner for DbhPartitioner {
@@ -104,7 +117,11 @@ mod tests {
         let g = RmatGenerator::new(10, 8).with_seed(7).generate().unwrap();
         let result = DbhPartitioner::new().partition(&g, 8).unwrap();
         let m = PartitionMetrics::compute(&g, &result).unwrap();
-        assert!(m.edge_imbalance < 1.3, "edge imbalance {}", m.edge_imbalance);
+        assert!(
+            m.edge_imbalance < 1.3,
+            "edge imbalance {}",
+            m.edge_imbalance
+        );
     }
 
     #[test]
@@ -112,7 +129,10 @@ mod tests {
         let g = RmatGenerator::new(8, 4).with_seed(1).generate().unwrap();
         let a = DbhPartitioner::new().partition(&g, 4).unwrap();
         let b = DbhPartitioner::new().partition(&g, 4).unwrap();
-        let c = DbhPartitioner::new().with_salt(99).partition(&g, 4).unwrap();
+        let c = DbhPartitioner::new()
+            .with_salt(99)
+            .partition(&g, 4)
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

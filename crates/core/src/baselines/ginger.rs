@@ -109,11 +109,11 @@ impl Partitioner for GingerPartitioner {
         }
 
         let assign = |edge_index: usize,
-                          part: PartitionId,
-                          keep: &mut MembershipMatrix,
-                          ecount: &mut Vec<usize>,
-                          vcount: &mut Vec<usize>,
-                          assignment: &mut Vec<PartitionId>| {
+                      part: PartitionId,
+                      keep: &mut MembershipMatrix,
+                      ecount: &mut Vec<usize>,
+                      vcount: &mut Vec<usize>,
+                      assignment: &mut Vec<PartitionId>| {
             let edge = graph.edges()[edge_index];
             assignment[edge_index] = part;
             ecount[part.index()] += 1;
@@ -178,8 +178,7 @@ impl Partitioner for GingerPartitioner {
                 let capacity = (1.05 * edges_per_part).ceil() as usize;
                 for &edge_index in in_edges {
                     let src = graph.edges()[edge_index].src;
-                    let hashed =
-                        (mix64(src.raw() ^ self.salt) % num_partitions as u64) as usize;
+                    let hashed = (mix64(src.raw() ^ self.salt) % num_partitions as u64) as usize;
                     let chosen = if ecount[hashed] < capacity {
                         hashed
                     } else {
@@ -248,7 +247,11 @@ mod tests {
         let g = RmatGenerator::new(10, 8).with_seed(5).generate().unwrap();
         let result = GingerPartitioner::new().partition(&g, 8).unwrap();
         let m = PartitionMetrics::compute(&g, &result).unwrap();
-        assert!(m.edge_imbalance < 1.15, "edge imbalance {}", m.edge_imbalance);
+        assert!(
+            m.edge_imbalance < 1.15,
+            "edge imbalance {}",
+            m.edge_imbalance
+        );
         assert!(m.replication_factor >= 1.0);
     }
 

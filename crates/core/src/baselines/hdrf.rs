@@ -52,6 +52,27 @@ impl HdrfPartitioner {
         self.order = order;
         self
     }
+
+    /// Creates the streaming form of this partitioner. HDRF is one-pass by
+    /// construction, so under the default input order the streaming output
+    /// is bit-identical to [`Partitioner::partition`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidParameter`] for an invalid `λ` and
+    /// [`PartitionError::InvalidPartitionCount`] for a zero partition count.
+    pub fn streaming(&self, config: crate::StreamConfig) -> Result<crate::StreamingHdrf> {
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return Err(PartitionError::InvalidParameter {
+                parameter: "lambda",
+                message: format!(
+                    "lambda must be non-negative and finite, got {}",
+                    self.lambda
+                ),
+            });
+        }
+        crate::StreamingHdrf::from_parts(self.lambda, config)
+    }
 }
 
 impl Partitioner for HdrfPartitioner {
@@ -64,7 +85,10 @@ impl Partitioner for HdrfPartitioner {
         if !self.lambda.is_finite() || self.lambda < 0.0 {
             return Err(PartitionError::InvalidParameter {
                 parameter: "lambda",
-                message: format!("lambda must be non-negative and finite, got {}", self.lambda),
+                message: format!(
+                    "lambda must be non-negative and finite, got {}",
+                    self.lambda
+                ),
             });
         }
         const EPSILON: f64 = 1.0;
@@ -91,7 +115,7 @@ impl Partitioner for HdrfPartitioner {
 
             let mut best_part = 0usize;
             let mut best_score = f64::NEG_INFINITY;
-            for i in 0..num_partitions {
+            for (i, &edges_here) in ecount.iter().enumerate() {
                 let part = PartitionId::from_index(i);
                 let mut replication = 0.0;
                 if keep.contains(u, part) {
@@ -101,7 +125,7 @@ impl Partitioner for HdrfPartitioner {
                     replication += 1.0 + (1.0 - theta_v);
                 }
                 let balance =
-                    self.lambda * (max_size - ecount[i] as f64) / (EPSILON + max_size - min_size);
+                    self.lambda * (max_size - edges_here as f64) / (EPSILON + max_size - min_size);
                 let score = replication + balance;
                 if score > best_score {
                     best_score = score;
@@ -133,7 +157,11 @@ mod tests {
         let g = RmatGenerator::new(10, 8).with_seed(2).generate().unwrap();
         let result = HdrfPartitioner::new().partition(&g, 8).unwrap();
         let m = PartitionMetrics::compute(&g, &result).unwrap();
-        assert!(m.edge_imbalance < 1.2, "edge imbalance {}", m.edge_imbalance);
+        assert!(
+            m.edge_imbalance < 1.2,
+            "edge imbalance {}",
+            m.edge_imbalance
+        );
         assert!(m.replication_factor >= 1.0);
     }
 
@@ -141,11 +169,8 @@ mod tests {
     fn beats_random_hashing_on_replication() {
         use crate::baselines::RandomVertexCutPartitioner;
         let g = RmatGenerator::new(10, 8).with_seed(6).generate().unwrap();
-        let hdrf = PartitionMetrics::compute(
-            &g,
-            &HdrfPartitioner::new().partition(&g, 8).unwrap(),
-        )
-        .unwrap();
+        let hdrf = PartitionMetrics::compute(&g, &HdrfPartitioner::new().partition(&g, 8).unwrap())
+            .unwrap();
         let random = PartitionMetrics::compute(
             &g,
             &RandomVertexCutPartitioner::new().partition(&g, 8).unwrap(),
@@ -157,8 +182,14 @@ mod tests {
     #[test]
     fn larger_lambda_improves_balance() {
         let g = RmatGenerator::new(9, 8).with_seed(4).generate().unwrap();
-        let loose = HdrfPartitioner::new().with_lambda(0.0).partition(&g, 8).unwrap();
-        let tight = HdrfPartitioner::new().with_lambda(5.0).partition(&g, 8).unwrap();
+        let loose = HdrfPartitioner::new()
+            .with_lambda(0.0)
+            .partition(&g, 8)
+            .unwrap();
+        let tight = HdrfPartitioner::new()
+            .with_lambda(5.0)
+            .partition(&g, 8)
+            .unwrap();
         let m_loose = PartitionMetrics::compute(&g, &loose).unwrap();
         let m_tight = PartitionMetrics::compute(&g, &tight).unwrap();
         assert!(m_tight.edge_imbalance <= m_loose.edge_imbalance + 1e-9);

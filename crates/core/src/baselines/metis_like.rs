@@ -236,10 +236,10 @@ impl Level {
             }
         }
         // Anything left (isolated vertices) goes to the lightest part.
-        for v in 0..n {
-            if part[v] == usize::MAX {
+        for (v, home) in part.iter_mut().enumerate() {
+            if *home == usize::MAX {
                 let lightest = (0..p).min_by_key(|&i| part_weight[i]).unwrap_or(0);
-                part[v] = lightest;
+                *home = lightest;
                 part_weight[lightest] += self.vertex_weights[v];
             }
         }
@@ -409,11 +409,9 @@ mod tests {
     #[test]
     fn vertex_balance_is_tight() {
         let g = RmatGenerator::new(10, 8).with_seed(3).generate().unwrap();
-        let m = PartitionMetrics::compute(
-            &g,
-            &MetisLikePartitioner::new().partition(&g, 8).unwrap(),
-        )
-        .unwrap();
+        let m =
+            PartitionMetrics::compute(&g, &MetisLikePartitioner::new().partition(&g, 8).unwrap())
+                .unwrap();
         assert!(
             m.vertex_imbalance < 1.25,
             "vertex imbalance {}",
@@ -439,11 +437,9 @@ mod tests {
         // On a mesh the replication factor (Σ|E_i|/|E|) should stay close to
         // 1: few edges cross tiles.
         let g = GridGenerator::new(32, 32).generate().unwrap();
-        let m = PartitionMetrics::compute(
-            &g,
-            &MetisLikePartitioner::new().partition(&g, 4).unwrap(),
-        )
-        .unwrap();
+        let m =
+            PartitionMetrics::compute(&g, &MetisLikePartitioner::new().partition(&g, 4).unwrap())
+                .unwrap();
         assert!(m.replication_factor < 1.2, "rf {}", m.replication_factor);
     }
 

@@ -171,16 +171,20 @@ mod tests {
     #[test]
     fn edge_balance_is_tight() {
         let g = RmatGenerator::new(10, 8).with_seed(3).generate().unwrap();
-        let m = PartitionMetrics::compute(&g, &NePartitioner::new().partition(&g, 8).unwrap())
-            .unwrap();
-        assert!(m.edge_imbalance < 1.05, "edge imbalance {}", m.edge_imbalance);
+        let m =
+            PartitionMetrics::compute(&g, &NePartitioner::new().partition(&g, 8).unwrap()).unwrap();
+        assert!(
+            m.edge_imbalance < 1.05,
+            "edge imbalance {}",
+            m.edge_imbalance
+        );
     }
 
     #[test]
     fn replication_beats_random_hashing() {
         let g = RmatGenerator::new(10, 8).with_seed(5).generate().unwrap();
-        let ne = PartitionMetrics::compute(&g, &NePartitioner::new().partition(&g, 8).unwrap())
-            .unwrap();
+        let ne =
+            PartitionMetrics::compute(&g, &NePartitioner::new().partition(&g, 8).unwrap()).unwrap();
         let random = PartitionMetrics::compute(
             &g,
             &RandomVertexCutPartitioner::new().partition(&g, 8).unwrap(),
@@ -197,8 +201,8 @@ mod tests {
     #[test]
     fn excellent_on_road_like_graphs() {
         let g = GridGenerator::new(40, 40).generate().unwrap();
-        let m = PartitionMetrics::compute(&g, &NePartitioner::new().partition(&g, 8).unwrap())
-            .unwrap();
+        let m =
+            PartitionMetrics::compute(&g, &NePartitioner::new().partition(&g, 8).unwrap()).unwrap();
         // Mesh-like graphs partition into compact tiles: tiny replication.
         assert!(m.replication_factor < 1.5, "rf {}", m.replication_factor);
         assert!(m.edge_imbalance < 1.05);

@@ -27,6 +27,19 @@ impl RandomVertexCutPartitioner {
         self.salt = salt;
         self
     }
+
+    /// Creates the streaming form of this partitioner. The assignment is a
+    /// pure hash of each edge and its stream position, so the streaming
+    /// output is bit-identical to [`Partitioner::partition`] and supports
+    /// [`crate::StreamingPartitioner::prehasher`] pre-hashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PartitionError::InvalidPartitionCount`] for a zero
+    /// partition count.
+    pub fn streaming(&self, config: crate::StreamConfig) -> crate::Result<crate::StreamingRandom> {
+        crate::StreamingRandom::from_parts(self.salt, config)
+    }
 }
 
 impl Partitioner for RandomVertexCutPartitioner {
@@ -41,10 +54,7 @@ impl Partitioner for RandomVertexCutPartitioner {
             .iter()
             .enumerate()
             .map(|(i, edge)| {
-                let key = mix64(edge.src.raw())
-                    ^ mix64(edge.dst.raw().rotate_left(17))
-                    ^ mix64(i as u64 ^ self.salt);
-                PartitionId::new((mix64(key) % num_partitions as u64) as u32)
+                crate::streaming::random_vertex_cut_part(self.salt, num_partitions, *edge, i)
             })
             .collect();
         Ok(EdgePartition::new(num_partitions, assignment)?.into())
@@ -80,9 +90,7 @@ impl Partitioner for RandomEdgeCutPartitioner {
         check_partition_count(graph, num_partitions)?;
         let assignment = graph
             .vertices()
-            .map(|v| {
-                PartitionId::new((mix64(v.raw() ^ self.salt) % num_partitions as u64) as u32)
-            })
+            .map(|v| PartitionId::new((mix64(v.raw() ^ self.salt) % num_partitions as u64) as u32))
             .collect();
         Ok(VertexPartition::new(num_partitions, assignment)?.into())
     }
@@ -108,7 +116,11 @@ mod tests {
         let g = RmatGenerator::new(10, 8).with_seed(3).generate().unwrap();
         let result = RandomEdgeCutPartitioner::new().partition(&g, 8).unwrap();
         let m = PartitionMetrics::compute(&g, &result).unwrap();
-        assert!(m.vertex_imbalance < 1.2, "vertex imbalance {}", m.vertex_imbalance);
+        assert!(
+            m.vertex_imbalance < 1.2,
+            "vertex imbalance {}",
+            m.vertex_imbalance
+        );
     }
 
     #[test]

@@ -85,7 +85,7 @@ fn validate(
             message: "at least one partition is required".to_string(),
         });
     }
-    if !(weight > 0.0) || !weight.is_finite() {
+    if !weight.is_finite() || weight <= 0.0 {
         return Err(PartitionError::InvalidParameter {
             parameter: weight_name,
             message: format!("must be strictly positive and finite, got {weight}"),
@@ -127,9 +127,7 @@ mod tests {
     #[test]
     fn single_partition_bound_is_exactly_one() {
         assert!((edge_imbalance_bound(100, 1, 1.0, 1.0).unwrap() - 1.0).abs() < 1e-12);
-        assert!(
-            (vertex_imbalance_bound(100, 100, 1, 1.0, 1.0).unwrap() - 1.0).abs() < 1e-12
-        );
+        assert!((vertex_imbalance_bound(100, 100, 1, 1.0, 1.0).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -125,16 +125,40 @@ impl EbvPartitioner {
         if !self.alpha.is_finite() || self.alpha < 0.0 {
             return Err(PartitionError::InvalidParameter {
                 parameter: "alpha",
-                message: format!("alpha must be a non-negative finite number, got {}", self.alpha),
+                message: format!(
+                    "alpha must be a non-negative finite number, got {}",
+                    self.alpha
+                ),
             });
         }
         if !self.beta.is_finite() || self.beta < 0.0 {
             return Err(PartitionError::InvalidParameter {
                 parameter: "beta",
-                message: format!("beta must be a non-negative finite number, got {}", self.beta),
+                message: format!(
+                    "beta must be a non-negative finite number, got {}",
+                    self.beta
+                ),
             });
         }
         Ok(())
+    }
+
+    /// Creates the streaming (online) form of this partitioner: an
+    /// [`ingest`](crate::StreamingPartitioner::ingest)-driven partitioner
+    /// with the same `α`/`β` configuration.
+    ///
+    /// With exact cardinality hints in `config`, the streaming output is
+    /// bit-identical to [`Partitioner::partition`] under
+    /// [`EdgeOrder::Input`]; see [`crate::streaming`]. The configured edge
+    /// order is ignored — a stream is consumed in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidParameter`] for invalid `α`/`β` and
+    /// [`PartitionError::InvalidPartitionCount`] for a zero partition count.
+    pub fn streaming(&self, config: crate::StreamConfig) -> Result<crate::StreamingEbv> {
+        self.validate()?;
+        crate::StreamingEbv::from_parts(self.alpha, self.beta, config)
     }
 
     /// Runs Algorithm 1 and additionally records the replication-factor
@@ -201,7 +225,10 @@ impl EbvPartitioner {
             }
 
             if (processed + 1) % sample_every == 0 || processed + 1 == num_edges {
-                trace.push(processed + 1, keep.total_replicas() as f64 / num_vertices as f64);
+                trace.push(
+                    processed + 1,
+                    keep.total_replicas() as f64 / num_vertices as f64,
+                );
             }
         }
 
@@ -306,8 +333,7 @@ mod tests {
         let g = named::figure1_graph();
         let sorted = EbvPartitioner::new();
         let unsorted = EbvPartitioner::new().unsorted();
-        let m_sorted =
-            PartitionMetrics::compute(&g, &sorted.partition(&g, 2).unwrap()).unwrap();
+        let m_sorted = PartitionMetrics::compute(&g, &sorted.partition(&g, 2).unwrap()).unwrap();
         let m_unsorted =
             PartitionMetrics::compute(&g, &unsorted.partition(&g, 2).unwrap()).unwrap();
         assert!(m_sorted.replication_factor <= m_unsorted.replication_factor + 1e-12);
@@ -318,7 +344,11 @@ mod tests {
         let g = RmatGenerator::new(10, 8).with_seed(3).generate().unwrap();
         let result = EbvPartitioner::new().partition(&g, 8).unwrap();
         let m = PartitionMetrics::compute(&g, &result).unwrap();
-        assert!(m.edge_imbalance < 1.15, "edge imbalance {}", m.edge_imbalance);
+        assert!(
+            m.edge_imbalance < 1.15,
+            "edge imbalance {}",
+            m.edge_imbalance
+        );
         assert!(
             m.vertex_imbalance < 1.15,
             "vertex imbalance {}",

@@ -44,6 +44,7 @@ mod membership;
 mod metrics;
 mod ordering;
 mod partitioner;
+pub mod streaming;
 mod types;
 
 pub use assignment::{EdgePartition, PartitionResult, VertexPartition};
@@ -57,6 +58,10 @@ pub use membership::MembershipMatrix;
 pub use metrics::{max_mean_ratio, PartitionMetrics};
 pub use ordering::{degree_sum, EdgeOrder};
 pub use partitioner::{check_partition_count, Partitioner};
+pub use streaming::{
+    StreamConfig, StreamingDbh, StreamingEbv, StreamingHdrf, StreamingMetrics,
+    StreamingPartitioner, StreamingRandom,
+};
 pub use types::PartitionId;
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -65,7 +70,7 @@ pub mod prelude {
         CvcPartitioner, DbhPartitioner, EbvPartitioner, EdgeOrder, EdgePartition,
         GingerPartitioner, HdrfPartitioner, MetisLikePartitioner, NePartitioner, PartitionId,
         PartitionMetrics, PartitionResult, Partitioner, RandomEdgeCutPartitioner,
-        RandomVertexCutPartitioner, VertexPartition,
+        RandomVertexCutPartitioner, StreamConfig, StreamingPartitioner, VertexPartition,
     };
 }
 

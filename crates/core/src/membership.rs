@@ -39,6 +39,16 @@ impl MembershipMatrix {
         self.num_vertices
     }
 
+    /// Grows the matrix to at least `num_vertices` rows, keeping existing
+    /// memberships. Used by the streaming partitioners, which discover the
+    /// vertex universe one edge at a time.
+    pub fn grow_to(&mut self, num_vertices: usize) {
+        if num_vertices > self.num_vertices {
+            self.num_vertices = num_vertices;
+            self.bits.resize(num_vertices * self.words_per_row, 0);
+        }
+    }
+
     /// Number of partitions (columns).
     pub fn num_partitions(&self) -> usize {
         self.num_partitions
@@ -95,7 +105,7 @@ impl MembershipMatrix {
         let words = &self.bits[start..start + self.words_per_row];
         (0..self.num_partitions)
             .filter(move |&i| words[i / 64] & (1u64 << (i % 64)) != 0)
-            .map(|i| PartitionId::from_index(i))
+            .map(PartitionId::from_index)
     }
 
     /// Sum of `partition_size` over all partitions: `Σ |V_i|`, the numerator
@@ -165,6 +175,22 @@ mod tests {
         assert_eq!(m.replica_count(v(1)), 3);
         let parts: Vec<u32> = m.partitions_of(v(1)).map(|q| q.raw()).collect();
         assert_eq!(parts, vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn grow_to_keeps_existing_memberships() {
+        let mut m = MembershipMatrix::new(2, 3);
+        m.insert(v(1), p(2));
+        m.grow_to(10);
+        assert_eq!(m.num_vertices(), 10);
+        assert!(m.contains(v(1), p(2)));
+        assert!(!m.contains(v(9), p(0)));
+        m.insert(v(9), p(0));
+        assert_eq!(m.partition_size(p(0)), 1);
+        // Shrinking is a no-op.
+        m.grow_to(4);
+        assert_eq!(m.num_vertices(), 10);
+        assert!(m.contains(v(9), p(0)));
     }
 
     #[test]

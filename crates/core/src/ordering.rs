@@ -16,24 +16,19 @@ use ebv_graph::{Edge, Graph};
 use serde::{Deserialize, Serialize};
 
 /// The order in which a streaming partitioner visits the edge list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum EdgeOrder {
     /// The order edges appear in the input graph (the paper's "EBV-unsort").
     Input,
     /// Ascending by the sum of the end-vertices' total degrees (the paper's
     /// "EBV-sort" preprocessing).
+    #[default]
     DegreeSumAscending,
     /// Descending by the sum of the end-vertices' total degrees — the
     /// adversarial control: hubs first.
     DegreeSumDescending,
     /// A deterministic pseudo-random shuffle with the given seed.
     Random(u64),
-}
-
-impl Default for EdgeOrder {
-    fn default() -> Self {
-        EdgeOrder::DegreeSumAscending
-    }
 }
 
 impl EdgeOrder {
@@ -67,8 +62,7 @@ impl EdgeOrder {
                 indices.sort_by_key(|&i| degree_sum(graph, &graph.edges()[i]));
             }
             EdgeOrder::DegreeSumDescending => {
-                indices
-                    .sort_by_key(|&i| std::cmp::Reverse(degree_sum(graph, &graph.edges()[i])));
+                indices.sort_by_key(|&i| std::cmp::Reverse(degree_sum(graph, &graph.edges()[i])));
             }
             EdgeOrder::Random(seed) => {
                 let mut rng = StdRng::seed_from_u64(*seed);

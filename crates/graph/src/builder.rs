@@ -169,10 +169,7 @@ impl GraphBuilder {
             directed.dedup();
         }
 
-        let max_endpoint = directed
-            .iter()
-            .map(|e| e.src.raw().max(e.dst.raw()))
-            .max();
+        let max_endpoint = directed.iter().map(|e| e.src.raw().max(e.dst.raw())).max();
 
         let implied_vertices = max_endpoint.map(|m| m as usize + 1).unwrap_or(0);
         let num_vertices = match self.num_vertices_hint {

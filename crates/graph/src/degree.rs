@@ -69,10 +69,7 @@ impl DegreeDistribution {
 
     /// Number of vertices with degree at least `d`.
     pub fn count_with_degree_at_least(&self, d: usize) -> usize {
-        self.counts
-            .range(d..)
-            .map(|(_, &count)| count)
-            .sum()
+        self.counts.range(d..).map(|(_, &count)| count).sum()
     }
 
     /// The smallest observed degree, or `None` for an empty distribution.

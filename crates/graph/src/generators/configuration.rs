@@ -135,7 +135,7 @@ impl GraphGenerator for ConfigurationModelGenerator {
 
         let mut stubs: Vec<u64> = Vec::with_capacity(degrees.iter().sum());
         for (v, &d) in degrees.iter().enumerate() {
-            stubs.extend(std::iter::repeat(v as u64).take(d));
+            stubs.extend(std::iter::repeat_n(v as u64, d));
         }
         stubs.shuffle(&mut rng);
 
@@ -212,10 +212,7 @@ mod tests {
         // Self-loop removal may shave a stub or two off a few vertices, but
         // the overwhelming majority must reach the requested minimum
         // (total degree = 2 * undirected min degree).
-        let satisfied = g
-            .vertices()
-            .filter(|&v| g.degree(v) >= 2 * 3 - 2)
-            .count();
+        let satisfied = g.vertices().filter(|&v| g.degree(v) >= 2 * 3 - 2).count();
         assert!(satisfied as f64 > 0.95 * g.num_vertices() as f64);
     }
 

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn produces_requested_counts() {
-        let g = ErdosRenyiGenerator::new(50, 200).with_seed(2).generate().unwrap();
+        let g = ErdosRenyiGenerator::new(50, 200)
+            .with_seed(2)
+            .generate()
+            .unwrap();
         assert_eq!(g.num_vertices(), 50);
         assert_eq!(g.num_edges(), 200);
     }

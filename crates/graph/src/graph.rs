@@ -259,8 +259,14 @@ mod tests {
     #[test]
     fn csr_out_and_in_neighbors() {
         let g = diamond();
-        assert_eq!(g.out_neighbors(VertexId::new(0)), &[VertexId::new(1), VertexId::new(2)]);
-        assert_eq!(g.in_neighbors(VertexId::new(3)), &[VertexId::new(1), VertexId::new(2)]);
+        assert_eq!(
+            g.out_neighbors(VertexId::new(0)),
+            &[VertexId::new(1), VertexId::new(2)]
+        );
+        assert_eq!(
+            g.in_neighbors(VertexId::new(3)),
+            &[VertexId::new(1), VertexId::new(2)]
+        );
         assert_eq!(g.out_neighbors(VertexId::new(3)), &[] as &[VertexId]);
         assert_eq!(g.in_neighbors(VertexId::new(0)), &[] as &[VertexId]);
     }

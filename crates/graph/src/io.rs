@@ -33,6 +33,46 @@ impl Default for EdgeListOptions {
     }
 }
 
+/// Parses one line of edge-list text.
+///
+/// Returns `Ok(None)` for lines that carry no edge — blank lines and `#`- or
+/// `%`-prefixed comments — and `Ok(Some((src, dst)))` for well-formed edges
+/// (two whitespace-separated integers; extra trailing tokens, such as edge
+/// weights in some SNAP dumps, are ignored). This is the single line-format
+/// authority shared by [`read_edge_list`] and the chunked text reader in
+/// `ebv-stream`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdge`] carrying `line_number` and the
+/// offending content for malformed lines.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::io::parse_edge_line;
+///
+/// assert_eq!(parse_edge_line("3 5", 1).unwrap(), Some((3, 5)));
+/// assert_eq!(parse_edge_line("  # comment", 2).unwrap(), None);
+/// assert_eq!(parse_edge_line("", 3).unwrap(), None);
+/// assert!(parse_edge_line("3 five", 4).is_err());
+/// ```
+pub fn parse_edge_line(line: &str, line_number: usize) -> Result<Option<(u64, u64)>> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split_whitespace();
+    let parse = |token: Option<&str>| -> Option<u64> { token.and_then(|t| t.parse().ok()) };
+    match (parse(parts.next()), parse(parts.next())) {
+        (Some(src), Some(dst)) => Ok(Some((src, dst))),
+        _ => Err(GraphError::ParseEdge {
+            line: line_number,
+            content: trimmed.to_string(),
+        }),
+    }
+}
+
 /// Parses a graph from any reader producing edge-list text.
 ///
 /// # Errors
@@ -59,22 +99,8 @@ pub fn read_edge_list<R: Read>(reader: R, options: EdgeListOptions) -> Result<Gr
     builder.remap_ids(options.remap_ids).dedup(options.dedup);
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let parse = |token: Option<&str>| -> Option<u64> { token.and_then(|t| t.parse().ok()) };
-        match (parse(parts.next()), parse(parts.next())) {
-            (Some(src), Some(dst)) => {
-                builder.add_edge_ids(src, dst);
-            }
-            _ => {
-                return Err(GraphError::ParseEdge {
-                    line: idx + 1,
-                    content: trimmed.to_string(),
-                });
-            }
+        if let Some((src, dst)) = parse_edge_line(&line, idx + 1)? {
+            builder.add_edge_ids(src, dst);
         }
     }
     builder.build()
@@ -165,6 +191,32 @@ mod tests {
             GraphError::ParseEdge { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn line_numbers_count_comments_and_blanks() {
+        // The malformed line is physically line 5; skipped lines still count.
+        let text = "# header\n\n% other comment\n0 1\nbroken line\n";
+        let err = read_edge_list(text.as_bytes(), EdgeListOptions::default()).unwrap_err();
+        match err {
+            GraphError::ParseEdge { line, content } => {
+                assert_eq!(line, 5);
+                assert_eq!(content, "broken line");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_edge_line_classifies_lines() {
+        assert_eq!(parse_edge_line("1 2", 1).unwrap(), Some((1, 2)));
+        assert_eq!(parse_edge_line("1\t2\textra 9", 1).unwrap(), Some((1, 2)));
+        assert_eq!(parse_edge_line("   ", 1).unwrap(), None);
+        assert_eq!(parse_edge_line("# c", 1).unwrap(), None);
+        assert_eq!(parse_edge_line("% c", 1).unwrap(), None);
+        assert!(parse_edge_line("only_one", 7).is_err());
+        assert!(parse_edge_line("1", 7).is_err());
+        assert!(parse_edge_line("-1 2", 7).is_err());
     }
 
     #[test]

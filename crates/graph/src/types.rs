@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 7);
 /// assert_eq!(format!("{v}"), "7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VertexId(u64);
 
 impl VertexId {

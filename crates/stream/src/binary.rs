@@ -1,0 +1,291 @@
+//! A compact binary edge-stream format.
+//!
+//! Layout: an 8-byte magic (`EBVSTRM` plus a format version byte) followed
+//! by edges as pairs of LEB128 varint-encoded vertex identifiers. Typical
+//! social-network edge lists compress to 2–6 bytes per endpoint instead of
+//! the 8 of fixed-width `u64`, and the format needs no length prefix — the
+//! stream simply ends at a pair boundary.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use ebv_graph::Edge;
+
+use crate::error::{Result, StreamError};
+use crate::source::EdgeSource;
+
+/// Magic bytes opening every binary edge stream (version 1).
+pub const MAGIC: [u8; 8] = *b"EBVSTRM\x01";
+
+/// Writes the LEB128 varint encoding of `value`.
+fn write_varint<W: Write>(writer: &mut W, mut value: u64) -> Result<()> {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            writer.write_all(&[byte])?;
+            return Ok(());
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Serializer for the binary edge-stream format.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_stream::{BinaryEdgeReader, BinaryEdgeWriter, EdgeSource};
+/// use ebv_graph::Edge;
+///
+/// # fn main() -> Result<(), ebv_stream::StreamError> {
+/// let mut buffer = Vec::new();
+/// let mut writer = BinaryEdgeWriter::new(&mut buffer)?;
+/// writer.write_edge(Edge::from((3u64, 70_000u64)))?;
+/// writer.finish()?;
+///
+/// let mut reader = BinaryEdgeReader::new(buffer.as_slice())?;
+/// assert_eq!(reader.next_edge().unwrap()?, Edge::from((3u64, 70_000u64)));
+/// assert!(reader.next_edge().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BinaryEdgeWriter<W: Write> {
+    writer: BufWriter<W>,
+    edges_written: usize,
+}
+
+impl<W: Write> BinaryEdgeWriter<W> {
+    /// Starts a new stream by writing the magic header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Io`] when writing fails.
+    pub fn new(inner: W) -> Result<Self> {
+        let mut writer = BufWriter::new(inner);
+        writer.write_all(&MAGIC)?;
+        Ok(BinaryEdgeWriter {
+            writer,
+            edges_written: 0,
+        })
+    }
+
+    /// Appends one edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Io`] when writing fails.
+    pub fn write_edge(&mut self, edge: Edge) -> Result<()> {
+        write_varint(&mut self.writer, edge.src.raw())?;
+        write_varint(&mut self.writer, edge.dst.raw())?;
+        self.edges_written += 1;
+        Ok(())
+    }
+
+    /// Number of edges written so far.
+    pub fn edges_written(&self) -> usize {
+        self.edges_written
+    }
+
+    /// Flushes and closes the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Io`] when flushing fails.
+    pub fn finish(mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+impl BinaryEdgeWriter<File> {
+    /// Creates a binary edge-stream file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::Io`] when the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        BinaryEdgeWriter::new(File::create(path)?)
+    }
+}
+
+/// Streaming deserializer for the binary edge-stream format; see
+/// [`BinaryEdgeWriter`].
+#[derive(Debug)]
+pub struct BinaryEdgeReader<R> {
+    reader: BufReader<R>,
+    offset: u64,
+}
+
+impl<R: Read> BinaryEdgeReader<R> {
+    /// Opens a stream, validating the magic header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidFormat`] when the magic does not match
+    /// and [`StreamError::Io`] on read failures.
+    pub fn new(inner: R) -> Result<Self> {
+        let mut reader = BufReader::new(inner);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic).map_err(|err| {
+            if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                StreamError::InvalidFormat {
+                    offset: 0,
+                    message: "stream shorter than the 8-byte magic header".to_string(),
+                }
+            } else {
+                StreamError::Io(err)
+            }
+        })?;
+        if magic != MAGIC {
+            return Err(StreamError::InvalidFormat {
+                offset: 0,
+                message: format!("bad magic {magic:?}, expected {MAGIC:?}"),
+            });
+        }
+        Ok(BinaryEdgeReader { reader, offset: 8 })
+    }
+
+    /// Reads one varint; `Ok(None)` on clean EOF at the first byte.
+    fn read_varint(&mut self, allow_eof: bool) -> Result<Option<u64>> {
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        let mut first = true;
+        loop {
+            let mut byte = [0u8; 1];
+            match self.reader.read_exact(&mut byte) {
+                Ok(()) => {}
+                Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    if first && allow_eof {
+                        return Ok(None);
+                    }
+                    return Err(StreamError::InvalidFormat {
+                        offset: self.offset,
+                        message: "stream truncated mid-edge".to_string(),
+                    });
+                }
+                Err(err) => return Err(StreamError::Io(err)),
+            }
+            self.offset += 1;
+            if shift >= 64 || (shift == 63 && byte[0] & 0x7E != 0) {
+                return Err(StreamError::InvalidFormat {
+                    offset: self.offset,
+                    message: "varint overflows u64".to_string(),
+                });
+            }
+            value |= u64::from(byte[0] & 0x7F) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(Some(value));
+            }
+            shift += 7;
+            first = false;
+        }
+    }
+}
+
+impl BinaryEdgeReader<File> {
+    /// Opens a binary edge-stream file.
+    ///
+    /// # Errors
+    ///
+    /// See [`BinaryEdgeReader::new`].
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        BinaryEdgeReader::new(File::open(path)?)
+    }
+}
+
+impl<R: Read> EdgeSource for BinaryEdgeReader<R> {
+    fn next_edge(&mut self) -> Option<Result<Edge>> {
+        let src = match self.read_varint(true) {
+            Ok(Some(src)) => src,
+            Ok(None) => return None,
+            Err(err) => return Some(Err(err)),
+        };
+        match self.read_varint(false) {
+            Ok(Some(dst)) => Some(Ok(Edge::from((src, dst)))),
+            // `allow_eof = false` maps EOF to InvalidFormat, so plain
+            // unreachable data never reaches here.
+            Ok(None) => unreachable!("read_varint(false) never yields None"),
+            Err(err) => Some(Err(err)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(edges: &[(u64, u64)]) -> Vec<Edge> {
+        let mut buffer = Vec::new();
+        let mut writer = BinaryEdgeWriter::new(&mut buffer).unwrap();
+        for &pair in edges {
+            writer.write_edge(Edge::from(pair)).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut reader = BinaryEdgeReader::new(buffer.as_slice()).unwrap();
+        let mut out = Vec::new();
+        while let Some(edge) = reader.next_edge() {
+            out.push(edge.unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrips_varied_magnitudes() {
+        let edges = [
+            (0, 1),
+            (127, 128),
+            (16_383, 16_384),
+            (u64::MAX, 42),
+            (1 << 40, (1 << 50) + 3),
+        ];
+        let out = roundtrip(&edges);
+        assert_eq!(out.len(), edges.len());
+        for (edge, &(s, d)) in out.iter().zip(&edges) {
+            assert_eq!(*edge, Edge::from((s, d)));
+        }
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        assert_eq!(roundtrip(&[]), Vec::new());
+    }
+
+    #[test]
+    fn compactness_beats_fixed_width_for_small_ids() {
+        let mut buffer = Vec::new();
+        let mut writer = BinaryEdgeWriter::new(&mut buffer).unwrap();
+        for i in 0..1000u64 {
+            writer
+                .write_edge(Edge::from((i % 100, (i + 1) % 100)))
+                .unwrap();
+        }
+        assert_eq!(writer.edges_written(), 1000);
+        writer.finish().unwrap();
+        // 8 magic + 2 bytes per edge, far below 16 bytes per edge.
+        assert!(buffer.len() < 8 + 1000 * 4, "{} bytes", buffer.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = BinaryEdgeReader::new(&b"NOTMAGIC rest"[..]).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidFormat { offset: 0, .. }));
+        let err = BinaryEdgeReader::new(&b"EBV"[..]).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidFormat { offset: 0, .. }));
+    }
+
+    #[test]
+    fn truncation_mid_edge_is_detected() {
+        let mut buffer = Vec::new();
+        let mut writer = BinaryEdgeWriter::new(&mut buffer).unwrap();
+        writer.write_edge(Edge::from((300u64, 400u64))).unwrap();
+        writer.finish().unwrap();
+        // Drop the final byte: the second varint of the edge is now cut off.
+        buffer.pop();
+        let mut reader = BinaryEdgeReader::new(buffer.as_slice()).unwrap();
+        let err = reader.next_edge().unwrap().unwrap_err();
+        assert!(matches!(err, StreamError::InvalidFormat { .. }));
+    }
+}

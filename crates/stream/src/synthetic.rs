@@ -1,0 +1,282 @@
+//! Synthetic edge streams: deterministic generators that deliver edges one
+//! at a time with O(1) state, so arbitrarily large workloads can be
+//! partitioned without ever materializing an edge list.
+//!
+//! These complement the batch generators of [`ebv_graph::generators`]
+//! (which build a whole [`Graph`](ebv_graph::Graph)): the streaming R-MAT
+//! here draws each edge independently from the recursive-matrix
+//! distribution, giving the same power-law skew the paper's evaluation
+//! graphs have.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ebv_graph::Edge;
+
+use crate::error::Result;
+use crate::source::EdgeSource;
+
+/// A streaming R-MAT generator: `num_edges` directed edges over the dense
+/// vertex universe `0..2^scale`, each drawn independently by recursive
+/// quadrant descent with probabilities `(a, b, c, d)`. Self loops are
+/// rejected and redrawn, matching the loop-free evaluation graphs.
+///
+/// Deterministic for a fixed seed, and O(1) memory: the stream can be
+/// replayed by constructing it again with the same parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_stream::{EdgeSource, RmatEdgeStream};
+///
+/// let mut stream = RmatEdgeStream::new(10, 5_000).with_seed(42);
+/// assert_eq!(stream.expected_edges(), Some(5_000));
+/// assert_eq!(stream.expected_vertices(), Some(1024));
+/// let first = stream.next_edge().unwrap().unwrap();
+/// assert!(first.src.raw() < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmatEdgeStream {
+    scale: u32,
+    num_edges: usize,
+    remaining: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RmatEdgeStream {
+    /// Creates a stream of `num_edges` edges over `2^scale` vertices with
+    /// the classic Graph500 probabilities `(0.57, 0.19, 0.19, 0.05)` and
+    /// seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= scale <= 30` (the same range the batch
+    /// [`RmatGenerator`](ebv_graph::generators::RmatGenerator) accepts;
+    /// scale 0 has no loop-free edge to draw).
+    pub fn new(scale: u32, num_edges: usize) -> Self {
+        assert!(
+            (1..=30).contains(&scale),
+            "R-MAT scale must be between 1 and 30, got {scale}"
+        );
+        RmatEdgeStream {
+            scale,
+            num_edges,
+            remaining: num_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            rng: StdRng::seed_from_u64(0),
+            seed: 0,
+        }
+    }
+
+    /// Reseeds the stream (and restarts it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.remaining = self.num_edges;
+        self
+    }
+
+    /// Overrides the quadrant probabilities; `d` is implied as
+    /// `1 - a - b - c`. Skew grows with `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all of `a`, `b`, `c` are non-negative finite numbers
+    /// with `a + b + c < 1` (quadrant `d` must keep positive mass).
+    pub fn with_probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
+        let valid = |p: f64| p.is_finite() && p >= 0.0;
+        assert!(
+            valid(a) && valid(b) && valid(c) && a + b + c < 1.0,
+            "R-MAT probabilities must be non-negative with a + b + c < 1, \
+             got ({a}, {b}, {c})"
+        );
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    fn draw(&mut self) -> Edge {
+        loop {
+            let mut src: u64 = 0;
+            let mut dst: u64 = 0;
+            for _ in 0..self.scale {
+                src <<= 1;
+                dst <<= 1;
+                let r: f64 = self.rng.gen();
+                if r < self.a {
+                    // top-left: both bits 0
+                } else if r < self.a + self.b {
+                    dst |= 1;
+                } else if r < self.a + self.b + self.c {
+                    src |= 1;
+                } else {
+                    src |= 1;
+                    dst |= 1;
+                }
+            }
+            if src != dst {
+                return Edge::from((src, dst));
+            }
+        }
+    }
+}
+
+impl EdgeSource for RmatEdgeStream {
+    fn next_edge(&mut self) -> Option<Result<Edge>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(Ok(self.draw()))
+    }
+
+    fn expected_edges(&self) -> Option<usize> {
+        Some(self.num_edges)
+    }
+
+    fn expected_vertices(&self) -> Option<usize> {
+        Some(1usize << self.scale)
+    }
+}
+
+/// A streaming uniform (Erdős–Rényi G(n, m)-style) generator: `num_edges`
+/// directed edges with both endpoints uniform over `0..num_vertices`, self
+/// loops rejected. The non-power-law control for streaming experiments.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_stream::{EdgeSource, UniformEdgeStream};
+///
+/// let mut stream = UniformEdgeStream::new(100, 500).with_seed(7);
+/// let edge = stream.next_edge().unwrap().unwrap();
+/// assert!(edge.src.raw() < 100 && edge.src != edge.dst);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformEdgeStream {
+    num_vertices: u64,
+    num_edges: usize,
+    remaining: usize,
+    rng: StdRng,
+}
+
+impl UniformEdgeStream {
+    /// Creates a stream of `num_edges` uniform edges over `num_vertices`
+    /// vertices with seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices < 2` (no loop-free edge exists).
+    pub fn new(num_vertices: u64, num_edges: usize) -> Self {
+        assert!(
+            num_vertices >= 2,
+            "a loop-free uniform stream needs at least 2 vertices"
+        );
+        UniformEdgeStream {
+            num_vertices,
+            num_edges,
+            remaining: num_edges,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Reseeds the stream (and restarts it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.remaining = self.num_edges;
+        self
+    }
+}
+
+impl EdgeSource for UniformEdgeStream {
+    fn next_edge(&mut self) -> Option<Result<Edge>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        loop {
+            let src = self.rng.gen_range(0..self.num_vertices);
+            let dst = self.rng.gen_range(0..self.num_vertices);
+            if src != dst {
+                return Some(Ok(Edge::from((src, dst))));
+            }
+        }
+    }
+
+    fn expected_edges(&self) -> Option<usize> {
+        Some(self.num_edges)
+    }
+
+    fn expected_vertices(&self) -> Option<usize> {
+        Some(self.num_vertices as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<S: EdgeSource>(mut source: S) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        while let Some(edge) = source.next_edge() {
+            edges.push(edge.unwrap());
+        }
+        edges
+    }
+
+    #[test]
+    fn rmat_stream_is_deterministic_and_sized() {
+        let a = drain(RmatEdgeStream::new(8, 2000).with_seed(3));
+        let b = drain(RmatEdgeStream::new(8, 2000).with_seed(3));
+        let c = drain(RmatEdgeStream::new(8, 2000).with_seed(4));
+        assert_eq!(a.len(), 2000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|e| e.src.raw() < 256 && e.dst.raw() < 256));
+        assert!(a.iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn rmat_stream_is_skewed() {
+        let edges = drain(RmatEdgeStream::new(9, 8000).with_seed(1));
+        let mut degree = vec![0usize; 512];
+        for e in &edges {
+            degree[e.src.index()] += 1;
+            degree[e.dst.index()] += 1;
+        }
+        let max = *degree.iter().max().unwrap();
+        let mean = degree.iter().sum::<usize>() as f64 / 512.0;
+        // Power-law-ish: the hub dominates the mean by a wide margin.
+        assert!(max as f64 > 5.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "R-MAT scale must be between 1 and 30")]
+    fn rmat_scale_zero_is_rejected() {
+        // Scale 0 has no loop-free edge: drawing would spin forever.
+        let _ = RmatEdgeStream::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "R-MAT probabilities")]
+    fn rmat_degenerate_probabilities_are_rejected() {
+        let _ = RmatEdgeStream::new(8, 10).with_probabilities(0.6, 0.3, 0.2);
+    }
+
+    #[test]
+    fn uniform_stream_is_deterministic_and_in_range() {
+        let a = drain(UniformEdgeStream::new(50, 1000).with_seed(9));
+        let b = drain(UniformEdgeStream::new(50, 1000).with_seed(9));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|e| e.src.raw() < 50 && e.dst.raw() < 50));
+        assert!(a.iter().all(|e| !e.is_self_loop()));
+    }
+}

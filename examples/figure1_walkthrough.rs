@@ -11,8 +11,7 @@ fn describe(label: &str, graph: &ebv::graph::Graph, partitioner: &EbvPartitioner
     let result = partitioner
         .partition(graph, 2)
         .expect("the toy graph always partitions");
-    let metrics =
-        PartitionMetrics::compute(graph, &result).expect("metrics of a valid partition");
+    let metrics = PartitionMetrics::compute(graph, &result).expect("metrics of a valid partition");
     let vc = result.as_vertex_cut().expect("EBV is a vertex-cut");
     println!("{label}:");
     println!("  edges per subgraph: {:?}", vc.edge_counts());

@@ -10,8 +10,8 @@ use ebv::graph::generators::{
 use ebv::graph::{estimate_graph_eta, Graph};
 use ebv::partition::{
     CvcPartitioner, DbhPartitioner, EbvPartitioner, GingerPartitioner, HdrfPartitioner,
-    MetisLikePartitioner, NePartitioner, PartitionMetrics, Partitioner,
-    RandomEdgeCutPartitioner, RandomVertexCutPartitioner,
+    MetisLikePartitioner, NePartitioner, PartitionMetrics, Partitioner, RandomEdgeCutPartitioner,
+    RandomVertexCutPartitioner,
 };
 
 fn roster() -> Vec<Box<dyn Partitioner>> {
@@ -36,7 +36,11 @@ fn tour(label: &str, graph: &Graph, workers: usize) -> Result<(), Box<dyn std::e
         graph.num_vertices(),
         graph.num_edges(),
         eta.eta,
-        if eta.is_power_law() { "power-law" } else { "non-power-law" }
+        if eta.is_power_law() {
+            "power-law"
+        } else {
+            "non-power-law"
+        }
     );
     println!(
         "{:<14} {:>10} {:>14} {:>16} {:>18}",

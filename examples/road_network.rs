@@ -46,11 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sssp = SingleSourceShortestPath::new(VertexId::new(0));
         let outcome = BspEngine::sequential().run(&distributed, &sssp)?;
         let breakdown = CostModel::default().breakdown(&outcome.stats);
-        let reachable = outcome
-            .values
-            .iter()
-            .filter(|&&d| d != UNREACHABLE)
-            .count();
+        let reachable = outcome.values.iter().filter(|&&d| d != UNREACHABLE).count();
         // Every partitioner must agree on how much of the road network is
         // reachable from the source intersection.
         if let Some(previous) = reachable_check {

@@ -1,0 +1,121 @@
+//! End-to-end streaming pipeline: generator stream → chunked online EBV →
+//! incremental distributed graph → Connected Components, without ever
+//! materializing the global edge vector on the streaming path.
+//!
+//! The example also replays the same deterministic stream into a batch
+//! graph to demonstrate the subsystem's central guarantee: streaming EBV is
+//! *bit-identical* to batch EBV under input order — same assignments, same
+//! replication factor, same imbalance factors.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example streaming_pipeline
+//! ```
+
+use std::time::Instant;
+
+use ebv::algorithms::ConnectedComponents;
+use ebv::bsp::{BspEngine, DistributedGraph};
+use ebv::graph::GraphBuilder;
+use ebv::partition::{EbvPartitioner, PartitionMetrics, Partitioner, StreamingPartitioner};
+use ebv::stream::{ChunkedPipeline, EdgeSource, RmatEdgeStream};
+
+const SCALE: u32 = 18; // 262 144 vertices
+const NUM_EDGES: usize = 1_100_000;
+const WORKERS: usize = 8;
+const CHUNK_SIZE: usize = 1 << 16;
+const SEED: u64 = 20_210_707;
+
+fn stream() -> RmatEdgeStream {
+    RmatEdgeStream::new(SCALE, NUM_EDGES).with_seed(SEED)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "streaming pipeline: {NUM_EDGES} R-MAT edges over 2^{SCALE} vertices, \
+         {WORKERS} workers, chunks of {CHUNK_SIZE}\n"
+    );
+
+    // ── Streaming path ────────────────────────────────────────────────────
+    // generator → StreamingEbv → DistributedGraphBuilder, chunk by chunk.
+    // Peak memory: one chunk of edges + partitioner state + the per-worker
+    // subgraphs under construction.
+    let source = stream();
+    let mut partitioner = EbvPartitioner::new().streaming(source.stream_config(WORKERS))?;
+    let mut builder = DistributedGraph::builder(WORKERS)?.with_num_vertices(1 << SCALE);
+
+    let started = Instant::now();
+    let run = ChunkedPipeline::new(CHUNK_SIZE).run(source, &mut partitioner, |edge, part| {
+        builder
+            .add_edge(edge, part)
+            .expect("streaming assignments are always in range");
+    })?;
+    let streaming_result = partitioner.finish()?;
+    let distributed = builder.finish()?;
+    let streaming_elapsed = started.elapsed();
+
+    println!("chunk  edges      rf      e-imb   v-imb");
+    for chunk in run.chunks() {
+        println!(
+            "{:>5}  {:>9}  {:.4}  {:.4}  {:.4}",
+            chunk.chunk_index,
+            chunk.metrics.edges_ingested,
+            chunk.metrics.replication_factor,
+            chunk.metrics.edge_imbalance,
+            chunk.metrics.vertex_imbalance,
+        );
+    }
+    let delta = run.final_metrics().expect("the stream is non-empty");
+    println!(
+        "\nstreamed {} edges in {streaming_elapsed:.2?} ({:.2e} edges/s)\n",
+        run.total_edges(),
+        run.total_edges() as f64 / streaming_elapsed.as_secs_f64(),
+    );
+
+    // ── Batch reference ───────────────────────────────────────────────────
+    // Replay the identical deterministic stream into a materialized graph
+    // and run batch EBV under input order.
+    let mut graph_builder = GraphBuilder::directed();
+    let mut source = stream();
+    while let Some(edge) = source.next_edge() {
+        let edge = edge?;
+        graph_builder.add_edge(edge);
+    }
+    graph_builder.num_vertices(1 << SCALE);
+    let graph = graph_builder.build()?;
+    let batch_result = EbvPartitioner::new()
+        .unsorted()
+        .partition(&graph, WORKERS)?;
+    let batch_metrics = PartitionMetrics::compute(&graph, &batch_result)?;
+
+    // ── Exactness check ───────────────────────────────────────────────────
+    assert_eq!(
+        streaming_result, batch_result,
+        "streaming EBV must be bit-identical to batch EBV under input order"
+    );
+    assert_eq!(delta.replication_factor, batch_metrics.replication_factor);
+    assert_eq!(delta.edge_imbalance, batch_metrics.edge_imbalance);
+    assert_eq!(delta.vertex_imbalance, batch_metrics.vertex_imbalance);
+    println!("streaming == batch: identical assignments and exactly equal metrics");
+    println!(
+        "  replication factor {:.4}, edge imbalance {:.4}, vertex imbalance {:.4}\n",
+        batch_metrics.replication_factor,
+        batch_metrics.edge_imbalance,
+        batch_metrics.vertex_imbalance,
+    );
+
+    // ── BSP application on the streamed distribution ──────────────────────
+    let started = Instant::now();
+    let outcome = BspEngine::threaded().run(&distributed, &ConnectedComponents::new())?;
+    let cc_elapsed = started.elapsed();
+    let mut roots: Vec<u64> = outcome.values.clone();
+    roots.sort_unstable();
+    roots.dedup();
+    println!(
+        "CC over the streamed distribution: {} components in {} supersteps ({cc_elapsed:.2?})",
+        roots.len(),
+        outcome.supersteps,
+    );
+    Ok(())
+}

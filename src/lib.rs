@@ -1,12 +1,14 @@
 //! # ebv — umbrella crate for the EBV reproduction
 //!
-//! Re-exports the four library crates of the workspace under short module
+//! Re-exports the five library crates of the workspace under short module
 //! names so that examples and integration tests can use one import root:
 //!
 //! * [`graph`] — graph structures, generators, statistics and I/O
 //!   (`ebv-graph`)
-//! * [`partition`] — the EBV partitioner, every baseline and the quality
-//!   metrics (`ebv-partition`)
+//! * [`partition`] — the EBV partitioner, every baseline, the streaming
+//!   variants and the quality metrics (`ebv-partition`)
+//! * [`stream`] — streaming edge ingestion and the chunked online
+//!   partitioning pipeline (`ebv-stream`)
 //! * [`bsp`] — the subgraph-centric BSP engine and cost model (`ebv-bsp`)
 //! * [`algorithms`] — CC, SSSP, PageRank, BFS and their sequential
 //!   references (`ebv-algorithms`)
@@ -20,3 +22,4 @@ pub use ebv_algorithms as algorithms;
 pub use ebv_bsp as bsp;
 pub use ebv_graph as graph;
 pub use ebv_partition as partition;
+pub use ebv_stream as stream;

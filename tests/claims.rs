@@ -47,7 +47,9 @@ fn cc_modeled_time(graph: &Graph, partitioner: &dyn Partitioner, p: usize) -> f6
     let outcome = BspEngine::sequential()
         .run(&distributed, &ConnectedComponents::new())
         .unwrap();
-    CostModel::default().breakdown(&outcome.stats).execution_time
+    CostModel::default()
+        .breakdown(&outcome.stats)
+        .execution_time
 }
 
 /// Claim (abstract): "EBV reduces the replication factor by at least 21.8%

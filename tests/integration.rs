@@ -27,11 +27,16 @@ fn full_pipeline_on_a_power_law_graph() {
 
         let distributed = DistributedGraph::build(&graph, &partition).unwrap();
         for engine in [BspEngine::sequential(), BspEngine::threaded()] {
-            let cc = engine.run(&distributed, &ConnectedComponents::new()).unwrap();
+            let cc = engine
+                .run(&distributed, &ConnectedComponents::new())
+                .unwrap();
             assert_eq!(cc.values, expected_cc, "{} CC", partitioner.name());
 
             let sssp = engine
-                .run(&distributed, &SingleSourceShortestPath::new(VertexId::new(0)))
+                .run(
+                    &distributed,
+                    &SingleSourceShortestPath::new(VertexId::new(0)),
+                )
                 .unwrap();
             assert_eq!(sssp.values, expected_sssp, "{} SSSP", partitioner.name());
         }

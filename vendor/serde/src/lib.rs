@@ -1,0 +1,9 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! sibling `serde_derive` stub so that `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile in an environment without
+//! crates.io access. No serialization machinery is provided — nothing in the
+//! workspace performs serialization.
+
+pub use serde_derive::{Deserialize, Serialize};

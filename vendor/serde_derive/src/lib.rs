@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde` cannot be compiled. Nothing in the workspace serializes
+//! values (there is no `serde_json` or similar); the derives are kept on the
+//! public types so that downstream users with the real `serde` get the
+//! expected impls. These no-op derive macros make `#[derive(Serialize,
+//! Deserialize)]` compile without generating any code.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
