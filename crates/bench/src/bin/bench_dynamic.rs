@@ -1,0 +1,198 @@
+//! Machine-readable throughput benchmark for the partitioning paths:
+//! batch, streaming, dynamic maintenance (insert/delete churn) and one
+//! rebalance epoch, written as `BENCH_dynamic.json` for trend tracking.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ebv-bench --bin bench_dynamic
+//! ```
+//!
+//! Environment:
+//!
+//! * `EBV_BENCH_OUT` — output path (default `BENCH_dynamic.json`);
+//! * `EBV_SCALE=full` — the larger workload size.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ebv_bench::TextTable;
+use ebv_dynamic::{ChurnStream, EventPipeline};
+use ebv_graph::GraphBuilder;
+use ebv_partition::{
+    EbvPartitioner, Partitioner, RandomVertexCutPartitioner, RebalanceConfig, StreamingPartitioner,
+};
+use ebv_stream::{EdgeSource, RmatEdgeStream};
+
+struct Measurement {
+    name: &'static str,
+    items: &'static str,
+    count: usize,
+    seconds: f64,
+    state_bytes: usize,
+}
+
+impl Measurement {
+    fn throughput(&self) -> f64 {
+        self.count as f64 / self.seconds
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn emit_json(workload: &str, edges: usize, workers: usize, rows: &[Measurement]) -> String {
+    // The vendored serde stand-in has no JSON backend; the schema is flat
+    // enough to emit by hand.
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"dynamic\",");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", json_escape_free(workload));
+    let _ = writeln!(out, "  \"edges\": {edges},");
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    out.push_str("  \"measurements\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"items\": \"{}\", \"count\": {}, \"seconds\": {:.6}, \
+             \"throughput_per_s\": {:.1}, \"state_bytes\": {}}}",
+            json_escape_free(row.name),
+            json_escape_free(row.items),
+            row.count,
+            row.seconds,
+            row.throughput(),
+            row.state_bytes,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::var("EBV_SCALE").is_ok_and(|v| v == "full");
+    let (scale, num_edges) = if full { (20, 4_000_000) } else { (16, 500_000) };
+    let workers = 8;
+    let churn_ratio = 0.25;
+    let stream = || RmatEdgeStream::new(scale, num_edges).with_seed(42);
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    // Batch EBV over the materialized graph.
+    let mut builder = GraphBuilder::directed();
+    let mut source = stream();
+    while let Some(edge) = source.next_edge() {
+        builder.add_edge(edge?);
+    }
+    builder.num_vertices(1 << scale);
+    let graph = builder.build()?;
+    let started = Instant::now();
+    let batch = EbvPartitioner::new()
+        .unsorted()
+        .partition(&graph, workers)?;
+    rows.push(Measurement {
+        name: "batch_ebv_partition",
+        items: "edges",
+        count: graph.num_edges(),
+        seconds: started.elapsed().as_secs_f64(),
+        state_bytes: 0,
+    });
+    drop(batch);
+
+    // Streaming EBV, one pass, exact hints.
+    let source = stream();
+    let mut streaming = EbvPartitioner::new().streaming(source.stream_config(workers))?;
+    let started = Instant::now();
+    let mut source = stream();
+    while let Some(edge) = source.next_edge() {
+        streaming.ingest(edge?);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    rows.push(Measurement {
+        name: "streaming_ebv_ingest",
+        items: "edges",
+        count: streaming.edges_ingested(),
+        seconds,
+        state_bytes: streaming.state_bytes(),
+    });
+
+    // Dynamic maintenance under churn, for EBV and the hash baseline.
+    for hash_based in [false, true] {
+        let source = stream();
+        let mut partitioner = if hash_based {
+            RandomVertexCutPartitioner::new().dynamic(source.stream_config(workers))?
+        } else {
+            EbvPartitioner::new().dynamic(source.stream_config(workers))?
+        };
+        let churn = ChurnStream::new(source, churn_ratio)?.with_seed(7);
+        let started = Instant::now();
+        let report = EventPipeline::new(1 << 16).run(churn, &mut partitioner, |_, _| Ok(()))?;
+        let seconds = started.elapsed().as_secs_f64();
+        rows.push(Measurement {
+            name: if hash_based {
+                "dynamic_random_churn"
+            } else {
+                "dynamic_ebv_churn"
+            },
+            items: "events",
+            count: report.total_inserts() + report.total_deletes(),
+            seconds,
+            state_bytes: partitioner.state_bytes(),
+        });
+
+        if !hash_based {
+            // One rebalance epoch on a forced skew.
+            let victims: Vec<_> = partitioner
+                .surviving()
+                .filter(|(_, part)| part.index() != 0)
+                .map(|(edge, _)| edge)
+                .collect();
+            for edge in victims.iter().take(victims.len() * 3 / 4) {
+                partitioner.delete(*edge)?;
+            }
+            let config = RebalanceConfig::new()
+                .with_max_edge_imbalance(1.2)
+                .with_target_edge_imbalance(1.05);
+            let started = Instant::now();
+            let plan = partitioner.rebalance(&config)?;
+            let seconds = started.elapsed().as_secs_f64();
+            rows.push(Measurement {
+                name: "rebalance_epoch",
+                items: "migrations",
+                count: plan.len(),
+                seconds,
+                state_bytes: partitioner.state_bytes(),
+            });
+        }
+    }
+
+    let mut table = TextTable::new("Dynamic-subsystem throughput");
+    table.headers([
+        "measurement",
+        "items",
+        "count",
+        "seconds",
+        "items/s",
+        "state bytes",
+    ]);
+    for row in &rows {
+        table.row([
+            row.name.to_string(),
+            row.items.to_string(),
+            row.count.to_string(),
+            format!("{:.4}", row.seconds),
+            format!("{:.3e}", row.throughput()),
+            row.state_bytes.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let workload = format!("rmat-scale{scale}");
+    let json = emit_json(&workload, num_edges, workers, &rows);
+    let out_path =
+        std::env::var("EBV_BENCH_OUT").unwrap_or_else(|_| "BENCH_dynamic.json".to_string());
+    std::fs::write(&out_path, &json)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

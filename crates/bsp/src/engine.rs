@@ -122,6 +122,7 @@ impl BspEngine {
 
         let mut stats = ExecutionStats {
             num_workers,
+            epoch: distributed.epoch(),
             supersteps: Vec::new(),
         };
 

@@ -21,6 +21,13 @@ pub enum BspError {
         /// Human-readable description of the constraint that was violated.
         message: String,
     },
+    /// A mutation batch could not be applied to a distributed graph (a
+    /// removal referenced a copy the worker does not hold, or the
+    /// distribution family does not support edge-level mutations).
+    InvalidMutation {
+        /// Human-readable description of the rejected mutation.
+        message: String,
+    },
     /// A program exceeded its superstep limit without converging.
     DidNotConverge {
         /// The superstep limit that was hit.
@@ -40,6 +47,9 @@ impl fmt::Display for BspError {
             }
             BspError::InvalidParameter { parameter, message } => {
                 write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            BspError::InvalidMutation { message } => {
+                write!(f, "invalid mutation: {message}")
             }
             BspError::DidNotConverge { max_supersteps } => {
                 write!(

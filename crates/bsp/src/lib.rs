@@ -36,13 +36,15 @@ pub use program::{MessageTarget, SubgraphContext, SubgraphProgram};
 pub use stats::{
     Breakdown, CostModel, ExecutionStats, SuperstepStats, TimelineSpan, WorkerSuperstepStats,
 };
-pub use subgraph::{DistributedGraph, DistributedGraphBuilder, ReplicaTable, Subgraph};
+pub use subgraph::{
+    DistributedGraph, DistributedGraphBuilder, MutationBatch, ReplicaTable, Subgraph,
+};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
         Breakdown, BspEngine, BspOutcome, CostModel, DistributedGraph, DistributedGraphBuilder,
-        ExecutionStats, Subgraph, SubgraphContext, SubgraphProgram,
+        ExecutionStats, MutationBatch, Subgraph, SubgraphContext, SubgraphProgram,
     };
 }
 

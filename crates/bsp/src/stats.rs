@@ -51,6 +51,10 @@ impl SuperstepStats {
 pub struct ExecutionStats {
     /// Number of workers.
     pub num_workers: usize,
+    /// Mutation epoch of the distributed graph the program ran on: 0 for a
+    /// fresh build, incremented per absorbed mutation batch (see
+    /// `DistributedGraph::apply_mutations`).
+    pub epoch: usize,
     /// Per-superstep counters.
     pub supersteps: Vec<SuperstepStats>,
 }
@@ -215,6 +219,7 @@ mod tests {
     fn stats_two_workers() -> ExecutionStats {
         ExecutionStats {
             num_workers: 2,
+            epoch: 0,
             supersteps: vec![
                 SuperstepStats {
                     per_worker: vec![

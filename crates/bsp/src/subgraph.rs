@@ -179,6 +179,71 @@ impl ReplicaTable {
     }
 }
 
+/// A batch of edge-level mutations to replay against a [`DistributedGraph`]
+/// via [`DistributedGraph::apply_mutations`]: additions and removals of
+/// already-assigned edge copies, with migrations expressed as a removal plus
+/// an addition.
+///
+/// The batch performs *cancellation*: deleting an `(edge, partition)` pair
+/// that was added earlier in the same batch removes the pending addition
+/// instead of recording a removal, so a batch built by replaying an
+/// insert/delete event stream always references only pre-batch edges in its
+/// removal list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationBatch {
+    added: Vec<(Edge, PartitionId)>,
+    removed: Vec<(Edge, PartitionId)>,
+}
+
+impl MutationBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the insertion of one edge copy assigned to `part`.
+    pub fn record_insert(&mut self, edge: Edge, part: PartitionId) {
+        self.added.push((edge, part));
+    }
+
+    /// Records the deletion of one edge copy that lived in `part`. Cancels
+    /// against the most recent matching pending addition, if any.
+    pub fn record_delete(&mut self, edge: Edge, part: PartitionId) {
+        match self.added.iter().rposition(|&pair| pair == (edge, part)) {
+            Some(index) => {
+                self.added.remove(index);
+            }
+            None => self.removed.push((edge, part)),
+        }
+    }
+
+    /// Records the migration of one edge copy from `from` to `to`.
+    pub fn record_move(&mut self, edge: Edge, from: PartitionId, to: PartitionId) {
+        self.record_delete(edge, from);
+        self.record_insert(edge, to);
+    }
+
+    /// The pending additions, in record order.
+    pub fn added(&self) -> &[(Edge, PartitionId)] {
+        &self.added
+    }
+
+    /// The pending removals, in record order.
+    pub fn removed(&self) -> &[(Edge, PartitionId)] {
+        &self.removed
+    }
+
+    /// Whether the batch mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of recorded mutations (additions plus removals).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
 /// A graph distributed over `p` workers: the per-worker subgraphs plus the
 /// replica table used for routing messages.
 #[derive(Debug, Clone)]
@@ -187,6 +252,8 @@ pub struct DistributedGraph {
     replicas: ReplicaTable,
     num_vertices: usize,
     num_edges: usize,
+    /// Number of mutation epochs absorbed since the initial build.
+    epoch: usize,
 }
 
 impl DistributedGraph {
@@ -326,6 +393,117 @@ impl DistributedGraph {
     pub fn replication_factor(&self) -> f64 {
         self.replicas.total_replicas() as f64 / self.num_vertices as f64
     }
+
+    /// Number of mutation epochs this distribution has absorbed: 0 for a
+    /// fresh build, incremented by every [`apply_mutations`](Self::apply_mutations).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Absorbs one batch of edge mutations and returns the updated
+    /// distribution, with [`epoch`](Self::epoch) incremented.
+    ///
+    /// Removals delete the *most recent* matching copy from the named
+    /// worker's edge list (matching the LIFO multiset semantics of
+    /// `ebv_partition::DynamicPartitioner::delete`) while preserving the
+    /// relative order of the surviving edges; additions append in record
+    /// order. Master election and replica bookkeeping then re-run through
+    /// the same assembly step as the batch build, so for batches without
+    /// migrations the result is structurally identical to rebuilding from
+    /// scratch over the surviving `(edge, partition)` stream.
+    ///
+    /// Only vertex-cut style distributions (every local edge owned) can be
+    /// mutated this way; edge-cut distributions replicate crossing edges
+    /// and are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::InvalidMutation`] when a removal references an
+    /// edge copy the named worker does not hold or the distribution is not
+    /// vertex-cut, and [`BspError::PartitionMismatch`] when a mutation
+    /// names a partition out of range.
+    pub fn apply_mutations(&self, batch: &MutationBatch) -> Result<Self> {
+        let p = self.num_workers();
+        if self
+            .subgraphs
+            .iter()
+            .any(|sg| sg.owns_edge.iter().any(|&owned| !owned))
+        {
+            return Err(BspError::InvalidMutation {
+                message: "only vertex-cut distributions (every local edge owned) support \
+                          edge-level mutations"
+                    .to_string(),
+            });
+        }
+
+        let mut edges_per_part: Vec<Vec<Edge>> =
+            self.subgraphs.iter().map(|sg| sg.edges.clone()).collect();
+
+        // Group removals per partition, then strip the last occurrences in
+        // one reverse sweep per partition so survivor order is preserved.
+        let mut to_remove: Vec<HashMap<Edge, usize>> = vec![HashMap::new(); p];
+        for &(edge, part) in batch.removed() {
+            if part.index() >= p {
+                return Err(BspError::PartitionMismatch {
+                    message: format!(
+                        "mutation references partition {part} but only {p} partitions exist"
+                    ),
+                });
+            }
+            *to_remove[part.index()].entry(edge).or_insert(0) += 1;
+        }
+        for (i, pending) in to_remove.iter_mut().enumerate() {
+            if pending.is_empty() {
+                continue;
+            }
+            let edges = &mut edges_per_part[i];
+            let mut keep = vec![true; edges.len()];
+            for index in (0..edges.len()).rev() {
+                if let Some(count) = pending.get_mut(&edges[index]) {
+                    if *count > 0 {
+                        *count -= 1;
+                        keep[index] = false;
+                    }
+                }
+            }
+            if let Some((&edge, _)) = pending.iter().find(|&(_, &count)| count > 0) {
+                return Err(BspError::InvalidMutation {
+                    message: format!("partition {i} holds no copy of edge {edge} to remove"),
+                });
+            }
+            let mut it = keep.iter();
+            edges.retain(|_| *it.next().expect("keep mask covers every edge"));
+        }
+
+        let mut n = self.num_vertices;
+        for &(edge, part) in batch.added() {
+            if part.index() >= p {
+                return Err(BspError::PartitionMismatch {
+                    message: format!(
+                        "mutation references partition {part} but only {p} partitions exist"
+                    ),
+                });
+            }
+            n = n.max(edge.src.index().max(edge.dst.index()) + 1);
+            edges_per_part[part.index()].push(edge);
+        }
+
+        let num_edges = edges_per_part.iter().map(|edges| edges.len()).sum();
+        let owned_per_part = edges_per_part
+            .iter()
+            .map(|edges| vec![true; edges.len()])
+            .collect();
+        let mut updated = assemble(
+            p,
+            n,
+            num_edges,
+            edges_per_part,
+            owned_per_part,
+            MasterRule::IncidentMajority,
+        );
+        updated.epoch = self.epoch + 1;
+        Ok(updated)
+    }
 }
 
 /// How the master replica of a vertex is elected during assembly.
@@ -405,6 +583,7 @@ fn assemble(
         replicas: ReplicaTable { master, replicas },
         num_vertices: n,
         num_edges,
+        epoch: 0,
     }
 }
 
@@ -729,5 +908,143 @@ mod tests {
         let other = Graph::from_edges(vec![(0, 1)]).unwrap();
         let partition = EbvPartitioner::new().partition(&other, 1).unwrap();
         assert!(DistributedGraph::build(&g, &partition).is_err());
+    }
+
+    fn assert_same_distribution(a: &DistributedGraph, b: &DistributedGraph) {
+        assert_eq!(a.num_workers(), b.num_workers());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_vertices() {
+            let v = VertexId::from(v);
+            assert_eq!(a.replicas().master_of(v), b.replicas().master_of(v));
+            assert_eq!(a.replicas().replicas_of(v), b.replicas().replicas_of(v));
+        }
+        for (sa, sb) in a.subgraphs().iter().zip(b.subgraphs()) {
+            assert_eq!(sa.edges(), sb.edges());
+            assert_eq!(sa.vertices(), sb.vertices());
+        }
+    }
+
+    #[test]
+    fn mutation_batch_cancels_same_batch_deletions() {
+        let mut batch = MutationBatch::new();
+        let e = Edge::from((0u64, 1u64));
+        batch.record_insert(e, PartitionId::new(0));
+        batch.record_insert(e, PartitionId::new(1));
+        batch.record_delete(e, PartitionId::new(1));
+        assert_eq!(batch.added(), &[(e, PartitionId::new(0))]);
+        assert!(batch.removed().is_empty());
+        batch.record_delete(e, PartitionId::new(1));
+        assert_eq!(batch.removed(), &[(e, PartitionId::new(1))]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        batch.record_move(
+            Edge::from((2u64, 3u64)),
+            PartitionId::new(0),
+            PartitionId::new(1),
+        );
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn apply_mutations_equals_fresh_build_of_survivors() {
+        let g = ebv_graph::generators::named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 3).unwrap();
+        let vc = partition.as_vertex_cut().unwrap();
+        let initial = DistributedGraph::build(&g, &partition).unwrap();
+        assert_eq!(initial.epoch(), 0);
+
+        // Remove every third edge and add two new ones.
+        let assigned: Vec<(Edge, PartitionId)> = g
+            .edges()
+            .iter()
+            .copied()
+            .zip(vc.assignment().iter().copied())
+            .collect();
+        let mut batch = MutationBatch::new();
+        for (edge, part) in assigned.iter().step_by(3) {
+            batch.record_delete(*edge, *part);
+        }
+        let additions = [
+            (Edge::from((0u64, 9u64)), PartitionId::new(2)),
+            (Edge::from((4u64, 12u64)), PartitionId::new(1)),
+        ];
+        for (edge, part) in additions {
+            batch.record_insert(edge, part);
+        }
+        let mutated = initial.apply_mutations(&batch).unwrap();
+        assert_eq!(mutated.epoch(), 1);
+
+        // The surviving stream in order: the undeleted originals, then the
+        // batch additions.
+        let survivors = assigned
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, &pair)| pair)
+            .chain(additions);
+        let fresh =
+            DistributedGraph::build_streaming(3, Some(mutated.num_vertices()), survivors).unwrap();
+        assert_same_distribution(&mutated, &fresh);
+    }
+
+    #[test]
+    fn apply_mutations_removes_the_latest_duplicate_copy() {
+        let e = Edge::from((0u64, 1u64));
+        let stream = vec![
+            (e, PartitionId::new(0)),
+            (Edge::from((1u64, 2u64)), PartitionId::new(1)),
+            (e, PartitionId::new(0)),
+        ];
+        let initial = DistributedGraph::build_streaming(2, None, stream).unwrap();
+        let mut batch = MutationBatch::new();
+        batch.record_delete(e, PartitionId::new(0));
+        let mutated = initial.apply_mutations(&batch).unwrap();
+        assert_eq!(mutated.num_edges(), 2);
+        assert_eq!(mutated.subgraph(PartitionId::new(0)).edges(), &[e]);
+    }
+
+    #[test]
+    fn apply_mutations_rejects_bad_batches() {
+        let g = square();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+
+        let mut missing = MutationBatch::new();
+        missing.record_delete(Edge::from((7u64, 8u64)), PartitionId::new(0));
+        assert!(matches!(
+            dg.apply_mutations(&missing),
+            Err(BspError::InvalidMutation { .. })
+        ));
+
+        let mut out_of_range = MutationBatch::new();
+        out_of_range.record_insert(Edge::from((0u64, 1u64)), PartitionId::new(9));
+        assert!(matches!(
+            dg.apply_mutations(&out_of_range),
+            Err(BspError::PartitionMismatch { .. })
+        ));
+
+        // Edge-cut distributions replicate crossing edges and cannot absorb
+        // edge-level mutations.
+        let ec = MetisLikePartitioner::new().partition(&g, 2).unwrap();
+        let ec_dg = DistributedGraph::build(&g, &ec).unwrap();
+        assert!(matches!(
+            ec_dg.apply_mutations(&MutationBatch::new()),
+            Err(BspError::InvalidMutation { .. })
+        ));
+    }
+
+    #[test]
+    fn epochs_accumulate_across_batches() {
+        let g = square();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let mut dg = DistributedGraph::build(&g, &partition).unwrap();
+        for expected in 1..=3 {
+            let mut batch = MutationBatch::new();
+            batch.record_insert(Edge::from((0u64, 2u64)), PartitionId::new(0));
+            dg = dg.apply_mutations(&batch).unwrap();
+            assert_eq!(dg.epoch(), expected);
+        }
+        assert_eq!(dg.num_edges(), g.num_edges() + 3);
     }
 }

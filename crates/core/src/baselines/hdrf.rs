@@ -62,6 +62,11 @@ impl HdrfPartitioner {
     /// Returns [`PartitionError::InvalidParameter`] for an invalid `λ` and
     /// [`PartitionError::InvalidPartitionCount`] for a zero partition count.
     pub fn streaming(&self, config: crate::StreamConfig) -> Result<crate::StreamingHdrf> {
+        self.validate()?;
+        crate::StreamingHdrf::from_parts(self.lambda, config)
+    }
+
+    fn validate(&self) -> Result<()> {
         if !self.lambda.is_finite() || self.lambda < 0.0 {
             return Err(PartitionError::InvalidParameter {
                 parameter: "lambda",
@@ -71,7 +76,21 @@ impl HdrfPartitioner {
                 ),
             });
         }
-        crate::StreamingHdrf::from_parts(self.lambda, config)
+        Ok(())
+    }
+
+    /// Creates the dynamic (evolving-graph) form of this partitioner, whose
+    /// partial degrees and cover state are decremented exactly under edge
+    /// deletions; see [`crate::dynamic`]. Insert-only sequences are
+    /// bit-identical to [`HdrfPartitioner::streaming`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidParameter`] for an invalid `λ` and
+    /// [`PartitionError::InvalidPartitionCount`] for a zero partition count.
+    pub fn dynamic(&self, config: crate::StreamConfig) -> Result<crate::DynamicPartitioner> {
+        self.validate()?;
+        crate::DynamicPartitioner::hdrf(self.lambda, config)
     }
 }
 
@@ -82,15 +101,7 @@ impl Partitioner for HdrfPartitioner {
 
     fn partition(&self, graph: &Graph, num_partitions: usize) -> Result<PartitionResult> {
         check_partition_count(graph, num_partitions)?;
-        if !self.lambda.is_finite() || self.lambda < 0.0 {
-            return Err(PartitionError::InvalidParameter {
-                parameter: "lambda",
-                message: format!(
-                    "lambda must be non-negative and finite, got {}",
-                    self.lambda
-                ),
-            });
-        }
+        self.validate()?;
         const EPSILON: f64 = 1.0;
 
         let mut keep = MembershipMatrix::new(graph.num_vertices(), num_partitions);

@@ -40,6 +40,20 @@ impl RandomVertexCutPartitioner {
     pub fn streaming(&self, config: crate::StreamConfig) -> crate::Result<crate::StreamingRandom> {
         crate::StreamingRandom::from_parts(self.salt, config)
     }
+
+    /// Creates the dynamic (evolving-graph) form of this partitioner. The
+    /// assignment is a pure hash of the edge *endpoints* only — unlike the
+    /// streaming form it deliberately ignores the stream position, so after
+    /// any insert/delete sequence the assignment equals a from-scratch run
+    /// over the surviving edges; see [`crate::dynamic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PartitionError::InvalidPartitionCount`] for a zero
+    /// partition count.
+    pub fn dynamic(&self, config: crate::StreamConfig) -> crate::Result<crate::DynamicPartitioner> {
+        crate::DynamicPartitioner::random(self.salt, config)
+    }
 }
 
 impl Partitioner for RandomVertexCutPartitioner {

@@ -1,0 +1,1046 @@
+//! Dynamic (evolving-graph) forms of the vertex-cut partitioners: exact
+//! partition maintenance under edge **deletions** and imbalance-triggered
+//! **rebalancing**.
+//!
+//! The streaming module ([`crate::streaming`]) opened the insert-only online
+//! scenario; this module opens full mutation streams. A
+//! [`DynamicPartitioner`] accepts [`insert`](DynamicPartitioner::insert) and
+//! [`delete`](DynamicPartitioner::delete) calls and keeps three pieces of
+//! state *exactly* consistent with the surviving edge multiset:
+//!
+//! * per-partition edge loads (`ecount[i]`, decrementable),
+//! * per-partition vertex cover sets (`V_i`), maintained as **reference
+//!   counts** of live incident edges so that removing the last incident
+//!   edge of a vertex removes the replica — a plain membership bitset
+//!   cannot decrement,
+//! * the edge→partition assignment log of every live copy (duplicate edges
+//!   form a multiset; deletion removes the most recently inserted copy).
+//!
+//! ## Exactness guarantees
+//!
+//! * **Metrics**: after *any* event sequence,
+//!   [`DynamicPartitioner::metrics`] is bit-identical to materializing the
+//!   surviving edges into a graph and recomputing
+//!   [`PartitionMetrics::compute`] from scratch over the maintained
+//!   assignment — the decrement path never drifts.
+//! * **Insert-only equivalence**: a sequence with no deletions reproduces
+//!   the corresponding [`StreamingPartitioner`](crate::StreamingPartitioner)
+//!   (and therefore, with exact hints and input order, the batch algorithm)
+//!   bit for bit.
+//! * **History-obliviousness (Random)**: the dynamic Random variant hashes
+//!   only the edge endpoints (not the stream position), so after any event
+//!   sequence its assignment — not just its metrics — equals a from-scratch
+//!   run over the surviving edges in insertion order.
+//!
+//! EBV and HDRF are *online* algorithms: each insertion is scored against
+//! the live state at insertion time, so a deletion does not retroactively
+//! re-place edges that were scored while the deleted edge was present.
+//! Quality is restored instead by the explicit
+//! [`rebalance`](DynamicPartitioner::rebalance) epoch, which migrates edges
+//! out of overloaded partitions (and consolidates replicas) when the
+//! maintained metrics drift past the [`RebalanceConfig`] thresholds,
+//! emitting a [`MigrationPlan`] that the distribution layer
+//! (`ebv_bsp::DistributedGraph::apply_mutations`) can replay.
+
+use std::collections::HashMap;
+
+use ebv_graph::{Edge, VertexId};
+
+use crate::baselines::mix64;
+use crate::error::{PartitionError, Result};
+use crate::metrics::PartitionMetrics;
+use crate::streaming::StreamConfig;
+use crate::types::PartitionId;
+
+/// One migrated edge copy: `edge` leaves partition `from` for partition
+/// `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeMove {
+    /// The migrated edge.
+    pub edge: Edge,
+    /// The partition the copy is leaving.
+    pub from: PartitionId,
+    /// The partition the copy is joining.
+    pub to: PartitionId,
+}
+
+/// The outcome of one rebalance epoch: the ordered list of edge migrations
+/// the partitioner performed on its own state. Replay it against the
+/// distribution layer to keep both in sync.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationPlan {
+    moves: Vec<EdgeMove>,
+}
+
+impl MigrationPlan {
+    /// The migrations in execution order.
+    pub fn moves(&self) -> &[EdgeMove] {
+        &self.moves
+    }
+
+    /// Number of migrated edge copies.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the epoch migrated nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Thresholds and targets for [`DynamicPartitioner::rebalance`].
+///
+/// A rebalance epoch triggers when the maintained edge imbalance exceeds
+/// [`max_edge_imbalance`](Self::with_max_edge_imbalance) or the maintained
+/// replication factor exceeds
+/// [`max_replication_factor`](Self::with_max_replication_factor); it then
+/// migrates edges until every partition load is at most
+/// `target_edge_imbalance × |E| / p` (rounded up to the feasible floor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    max_edge_imbalance: f64,
+    max_replication_factor: f64,
+    target_edge_imbalance: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            max_edge_imbalance: 1.10,
+            max_replication_factor: f64::INFINITY,
+            target_edge_imbalance: 1.02,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// Creates the default configuration: trigger above an edge imbalance of
+    /// 1.10, never trigger on the replication factor, rebalance toward 1.02.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the edge-imbalance trigger threshold (≥ 1).
+    pub fn with_max_edge_imbalance(mut self, threshold: f64) -> Self {
+        self.max_edge_imbalance = threshold;
+        self
+    }
+
+    /// Sets the replication-factor trigger threshold (≥ 1). A triggered
+    /// epoch always includes the replica-consolidation sweep.
+    pub fn with_max_replication_factor(mut self, threshold: f64) -> Self {
+        self.max_replication_factor = threshold;
+        self
+    }
+
+    /// Sets the post-rebalance edge-imbalance target (≥ 1, at most the
+    /// trigger threshold).
+    pub fn with_target_edge_imbalance(mut self, target: f64) -> Self {
+        self.target_edge_imbalance = target;
+        self
+    }
+
+    /// The configured edge-imbalance trigger.
+    pub fn max_edge_imbalance(&self) -> f64 {
+        self.max_edge_imbalance
+    }
+
+    /// The configured replication-factor trigger.
+    pub fn max_replication_factor(&self) -> f64 {
+        self.max_replication_factor
+    }
+
+    /// The configured post-rebalance target.
+    pub fn target_edge_imbalance(&self) -> f64 {
+        self.target_edge_imbalance
+    }
+
+    fn validate(&self) -> Result<()> {
+        let ok = |x: f64| x >= 1.0 && !x.is_nan();
+        if !ok(self.max_edge_imbalance)
+            || !ok(self.max_replication_factor)
+            || !ok(self.target_edge_imbalance)
+            || self.target_edge_imbalance > self.max_edge_imbalance
+        {
+            return Err(PartitionError::InvalidParameter {
+                parameter: "rebalance_config",
+                message: format!(
+                    "thresholds must be >= 1 with target <= max_edge_imbalance, got \
+                     max_edge_imbalance {}, max_replication_factor {}, target {}",
+                    self.max_edge_imbalance,
+                    self.max_replication_factor,
+                    self.target_edge_imbalance
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The placement policy of a [`DynamicPartitioner`].
+#[derive(Debug, Clone)]
+enum Policy {
+    /// EBV's evaluation function over the live state (Algorithm 1 scoring).
+    Ebv { alpha: f64, beta: f64 },
+    /// HDRF scoring with *live* partial degrees (decremented on delete).
+    Hdrf {
+        lambda: f64,
+        degree: HashMap<VertexId, usize>,
+    },
+    /// Position-independent hash of the edge endpoints.
+    Random { salt: u64 },
+}
+
+/// The deletion-oblivious Random-VC assignment: a pure hash of the edge
+/// endpoints and the salt. Unlike the streaming form it deliberately does
+/// **not** mix in the stream position, so deleting unrelated edges never
+/// changes where an edge hashes — the assignment after any event sequence
+/// equals a from-scratch run over the survivors.
+fn dynamic_random_part(salt: u64, num_partitions: usize, edge: Edge) -> PartitionId {
+    let key = mix64(edge.src.raw()) ^ mix64(edge.dst.raw().rotate_left(17)) ^ mix64(salt);
+    PartitionId::new((mix64(key) % num_partitions as u64) as u32)
+}
+
+/// Once the log reaches this length, deletions compact it whenever dead
+/// entries outnumber live ones (the classic doubling argument bounds the
+/// amortized cost at O(1) per deletion).
+const COMPACT_FLOOR: usize = 1024;
+
+/// One insertion recorded in the assignment log. Deleted copies are marked
+/// dead in place so that surviving copies keep their insertion order, and
+/// are dropped wholesale by [`DynamicPartitioner::compact`].
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    edge: Edge,
+    part: PartitionId,
+    live: bool,
+}
+
+/// A vertex-cut partitioner for evolving graphs; see the [module
+/// documentation](self) for the maintained invariants.
+///
+/// Construct via [`EbvPartitioner::dynamic`](crate::EbvPartitioner::dynamic),
+/// [`HdrfPartitioner::dynamic`](crate::HdrfPartitioner::dynamic) or
+/// [`RandomVertexCutPartitioner::dynamic`](crate::RandomVertexCutPartitioner::dynamic).
+///
+/// # Examples
+///
+/// ```
+/// use ebv_graph::Edge;
+/// use ebv_partition::{EbvPartitioner, StreamConfig};
+///
+/// # fn main() -> Result<(), ebv_partition::PartitionError> {
+/// let mut dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(2))?;
+/// dynamic.insert(Edge::from((0u64, 1u64)));
+/// dynamic.insert(Edge::from((1u64, 2u64)));
+/// let part = dynamic.insert(Edge::from((2u64, 0u64)));
+/// dynamic.delete(Edge::from((2u64, 0u64)))?;
+/// assert_eq!(dynamic.live_edges(), 2);
+/// let _ = part;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicPartitioner {
+    policy: Policy,
+    num_partitions: usize,
+    log: Vec<LogEntry>,
+    /// Live copies of each edge as a stack of log positions (LIFO deletion).
+    copies: HashMap<Edge, Vec<usize>>,
+    ecount: Vec<usize>,
+    live_edges: usize,
+    /// Per-partition vertex cover as live-incidence reference counts:
+    /// `incidence[i][v]` is the number of live edge copies in partition `i`
+    /// incident to `v`; the keys of `incidence[i]` are exactly `V_i`.
+    incidence: Vec<HashMap<VertexId, usize>>,
+    max_vertex_exclusive: usize,
+    expected_vertices: Option<usize>,
+    expected_edges: Option<usize>,
+}
+
+impl DynamicPartitioner {
+    fn new(policy: Policy, config: StreamConfig) -> Result<Self> {
+        if config.num_partitions() == 0 {
+            return Err(PartitionError::InvalidPartitionCount {
+                requested: 0,
+                message: "at least one partition is required".to_string(),
+            });
+        }
+        Ok(DynamicPartitioner {
+            policy,
+            num_partitions: config.num_partitions(),
+            log: Vec::new(),
+            copies: HashMap::new(),
+            ecount: vec![0; config.num_partitions()],
+            live_edges: 0,
+            incidence: vec![HashMap::new(); config.num_partitions()],
+            max_vertex_exclusive: 0,
+            expected_vertices: config.expected_vertices(),
+            expected_edges: config.expected_edges(),
+        })
+    }
+
+    pub(crate) fn ebv(alpha: f64, beta: f64, config: StreamConfig) -> Result<Self> {
+        Self::new(Policy::Ebv { alpha, beta }, config)
+    }
+
+    pub(crate) fn hdrf(lambda: f64, config: StreamConfig) -> Result<Self> {
+        Self::new(
+            Policy::Hdrf {
+                lambda,
+                degree: HashMap::new(),
+            },
+            config,
+        )
+    }
+
+    pub(crate) fn random(salt: u64, config: StreamConfig) -> Result<Self> {
+        Self::new(Policy::Random { salt }, config)
+    }
+
+    /// A short, stable name used in reports (e.g. `"EBV-dynamic"`).
+    pub fn name(&self) -> String {
+        match self.policy {
+            Policy::Ebv { .. } => "EBV-dynamic".to_string(),
+            Policy::Hdrf { .. } => "HDRF-dynamic".to_string(),
+            Policy::Random { .. } => "Random-VC-dynamic".to_string(),
+        }
+    }
+
+    /// The configured partition count.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Number of live (surviving) edge copies.
+    pub fn live_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Whether no edge copy is currently live.
+    pub fn is_empty(&self) -> bool {
+        self.live_edges == 0
+    }
+
+    /// Size of the vertex universe: the configured
+    /// [`StreamConfig::with_expected_vertices`] hint, or the densely
+    /// numbered universe implied by the largest endpoint ever inserted.
+    /// Deletions never shrink the universe.
+    pub fn num_vertices(&self) -> usize {
+        self.expected_vertices
+            .unwrap_or(0)
+            .max(self.max_vertex_exclusive)
+    }
+
+    /// Number of live edges held by each partition.
+    pub fn edge_counts(&self) -> &[usize] {
+        &self.ecount
+    }
+
+    /// Number of covered vertices (`|V_i|`) per partition.
+    pub fn vertex_counts(&self) -> Vec<usize> {
+        self.incidence.iter().map(|m| m.len()).collect()
+    }
+
+    /// Whether partition `part` currently covers vertex `v`.
+    pub fn covers(&self, v: VertexId, part: PartitionId) -> bool {
+        self.incidence[part.index()].contains_key(&v)
+    }
+
+    /// Approximate bytes of resident state (the assignment log, the copy
+    /// stacks and the incidence refcounts). A memory proxy for benchmarks;
+    /// excludes allocator overhead.
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let incidence_entries: usize = self.incidence.iter().map(|m| m.len()).sum();
+        self.log.len() * size_of::<LogEntry>()
+            + self.copies.len() * (size_of::<Edge>() + size_of::<Vec<usize>>())
+            + self.live_edges * size_of::<usize>()
+            + incidence_entries * (size_of::<VertexId>() + size_of::<usize>())
+            + self.num_partitions * size_of::<usize>()
+    }
+
+    fn observe(&mut self, edge: Edge) {
+        let needed = edge.src.index().max(edge.dst.index()) + 1;
+        if needed > self.max_vertex_exclusive {
+            self.max_vertex_exclusive = needed;
+        }
+    }
+
+    fn add_incidence(&mut self, v: VertexId, part: PartitionId) {
+        *self.incidence[part.index()].entry(v).or_insert(0) += 1;
+    }
+
+    fn remove_incidence(&mut self, v: VertexId, part: PartitionId) {
+        let map = &mut self.incidence[part.index()];
+        let count = map
+            .get_mut(&v)
+            .expect("live incidence refcount exists for every live endpoint");
+        *count -= 1;
+        if *count == 0 {
+            map.remove(&v);
+        }
+    }
+
+    /// Scores the partitions for `edge` with the configured policy against
+    /// the live state. Mirrors the streaming implementations expression for
+    /// expression so that insert-only sequences are bit-identical.
+    fn place(&mut self, edge: Edge) -> PartitionId {
+        let p = self.num_partitions;
+        let (u, v) = edge.endpoints();
+        match &mut self.policy {
+            Policy::Ebv { alpha, beta } => {
+                let (alpha, beta) = (*alpha, *beta);
+                let edges_per_part = match self.expected_edges {
+                    Some(e) => e as f64 / p as f64,
+                    None => (self.live_edges + 1) as f64 / p as f64,
+                };
+                let vertices_per_part = self.num_vertices() as f64 / p as f64;
+                let mut best_part = 0usize;
+                let mut best_score = f64::INFINITY;
+                for i in 0..p {
+                    let mut score = 0.0;
+                    if !self.incidence[i].contains_key(&u) {
+                        score += 1.0;
+                    }
+                    if !self.incidence[i].contains_key(&v) {
+                        score += 1.0;
+                    }
+                    score += alpha * self.ecount[i] as f64 / edges_per_part;
+                    score += beta * self.incidence[i].len() as f64 / vertices_per_part;
+                    if score < best_score {
+                        best_score = score;
+                        best_part = i;
+                    }
+                }
+                PartitionId::from_index(best_part)
+            }
+            Policy::Hdrf { lambda, degree } => {
+                const EPSILON: f64 = 1.0;
+                let lambda = *lambda;
+                *degree.entry(u).or_insert(0) += 1;
+                *degree.entry(v).or_insert(0) += 1;
+                let du = degree[&u] as f64;
+                let dv = degree[&v] as f64;
+                let theta_u = du / (du + dv);
+                let theta_v = 1.0 - theta_u;
+                let max_size = *self.ecount.iter().max().expect("non-empty") as f64;
+                let min_size = *self.ecount.iter().min().expect("non-empty") as f64;
+                let mut best_part = 0usize;
+                let mut best_score = f64::NEG_INFINITY;
+                for i in 0..p {
+                    let mut replication = 0.0;
+                    if self.incidence[i].contains_key(&u) {
+                        replication += 1.0 + (1.0 - theta_u);
+                    }
+                    if self.incidence[i].contains_key(&v) {
+                        replication += 1.0 + (1.0 - theta_v);
+                    }
+                    let balance = lambda * (max_size - self.ecount[i] as f64)
+                        / (EPSILON + max_size - min_size);
+                    let score = replication + balance;
+                    if score > best_score {
+                        best_score = score;
+                        best_part = i;
+                    }
+                }
+                PartitionId::from_index(best_part)
+            }
+            Policy::Random { salt } => dynamic_random_part(*salt, p, edge),
+        }
+    }
+
+    /// Inserts one edge copy, scoring it against the live state, and returns
+    /// the partition it was assigned to.
+    pub fn insert(&mut self, edge: Edge) -> PartitionId {
+        self.observe(edge);
+        let part = self.place(edge);
+        let position = self.log.len();
+        self.log.push(LogEntry {
+            edge,
+            part,
+            live: true,
+        });
+        self.copies.entry(edge).or_default().push(position);
+        self.ecount[part.index()] += 1;
+        self.live_edges += 1;
+        self.add_incidence(edge.src, part);
+        if edge.dst != edge.src {
+            self.add_incidence(edge.dst, part);
+        }
+        part
+    }
+
+    /// Deletes the most recently inserted live copy of `edge` and returns
+    /// the partition that copy was assigned to. Partition load, vertex
+    /// cover refcounts (and HDRF degrees) are decremented exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::EdgeNotPresent`] when no live copy of
+    /// `edge` exists.
+    pub fn delete(&mut self, edge: Edge) -> Result<PartitionId> {
+        let position = match self.copies.get_mut(&edge) {
+            Some(stack) if !stack.is_empty() => stack.pop().expect("checked non-empty"),
+            _ => {
+                return Err(PartitionError::EdgeNotPresent {
+                    message: format!("no live copy of edge {edge} to delete"),
+                })
+            }
+        };
+        if self.copies.get(&edge).is_some_and(|s| s.is_empty()) {
+            self.copies.remove(&edge);
+        }
+        let entry = &mut self.log[position];
+        entry.live = false;
+        let part = entry.part;
+        self.ecount[part.index()] -= 1;
+        self.live_edges -= 1;
+        self.remove_incidence(edge.src, part);
+        if edge.dst != edge.src {
+            self.remove_incidence(edge.dst, part);
+        }
+        if let Policy::Hdrf { degree, .. } = &mut self.policy {
+            for v in [edge.src, edge.dst] {
+                let d = degree
+                    .get_mut(&v)
+                    .expect("HDRF degree exists for every live endpoint");
+                *d -= 1;
+                if *d == 0 {
+                    degree.remove(&v);
+                }
+            }
+        }
+        if self.log.len() >= COMPACT_FLOOR && self.log.len() >= 2 * self.live_edges {
+            self.compact();
+        }
+        Ok(part)
+    }
+
+    /// Drops dead log entries and rebuilds the copy stacks, preserving the
+    /// insertion order (and therefore the LIFO stacks) of every live copy.
+    /// Triggered from [`delete`](Self::delete) once dead entries outnumber
+    /// live ones, so resident state is O(live edges) — a windowed stream
+    /// can run forever — at amortized O(1) per deletion.
+    fn compact(&mut self) {
+        self.log.retain(|entry| entry.live);
+        self.copies.clear();
+        for (position, entry) in self.log.iter().enumerate() {
+            self.copies.entry(entry.edge).or_default().push(position);
+        }
+    }
+
+    /// The surviving `(edge, partition)` pairs in insertion order — the
+    /// edge multiset a from-scratch rebuild would consume.
+    pub fn surviving(&self) -> impl Iterator<Item = (Edge, PartitionId)> + '_ {
+        self.log
+            .iter()
+            .filter(|entry| entry.live)
+            .map(|entry| (entry.edge, entry.part))
+    }
+
+    /// The maintained assignment of the surviving edges as an
+    /// [`EdgePartition`](crate::EdgePartition)-backed
+    /// [`PartitionResult`](crate::PartitionResult), aligned with
+    /// [`surviving`](Self::surviving) order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionError`] from result construction.
+    pub fn snapshot(&self) -> Result<crate::PartitionResult> {
+        let assignment: Vec<PartitionId> = self.surviving().map(|(_, part)| part).collect();
+        Ok(crate::EdgePartition::new(self.num_partitions, assignment)?.into())
+    }
+
+    /// The maintained quality metrics of the surviving assignment —
+    /// bit-identical to [`PartitionMetrics::compute`] over a graph holding
+    /// exactly the surviving edges (in any order) with
+    /// [`num_vertices`](Self::num_vertices) declared vertices.
+    pub fn metrics(&self) -> PartitionMetrics {
+        let p = self.num_partitions;
+        let max_edges = self.ecount.iter().copied().max().unwrap_or(0) as f64;
+        let vcounts = self.vertex_counts();
+        let max_vertices = vcounts.iter().copied().max().unwrap_or(0) as f64;
+        let total_covered: usize = vcounts.iter().sum();
+        let universe = self.num_vertices();
+        let edge_imbalance = if self.live_edges == 0 {
+            1.0
+        } else {
+            max_edges / (self.live_edges as f64 / p as f64)
+        };
+        let vertex_imbalance = if total_covered == 0 {
+            1.0
+        } else {
+            max_vertices / (total_covered as f64 / p as f64)
+        };
+        let replication_factor = if universe == 0 {
+            1.0
+        } else {
+            total_covered as f64 / universe as f64
+        };
+        PartitionMetrics {
+            edge_imbalance,
+            vertex_imbalance,
+            replication_factor,
+            num_partitions: p,
+        }
+    }
+
+    /// Whether the maintained metrics have drifted past the `config`
+    /// thresholds.
+    pub fn needs_rebalance(&self, config: &RebalanceConfig) -> bool {
+        let m = self.metrics();
+        m.edge_imbalance > config.max_edge_imbalance
+            || m.replication_factor > config.max_replication_factor
+    }
+
+    /// The per-move replication-factor delta of migrating `edge` from
+    /// `from` to `to`: new replicas created in `to` minus replicas freed in
+    /// `from`.
+    fn move_delta(&self, edge: Edge, from: PartitionId, to: PartitionId) -> i64 {
+        let mut delta = 0i64;
+        let (u, v) = edge.endpoints();
+        for (i, w) in [u, v].into_iter().enumerate() {
+            if i == 1 && v == u {
+                break;
+            }
+            if !self.incidence[to.index()].contains_key(&w) {
+                delta += 1;
+            }
+            if self.incidence[from.index()][&w] == 1 {
+                delta -= 1;
+            }
+        }
+        delta
+    }
+
+    /// Applies one migration to the maintained state.
+    fn apply_move(&mut self, position: usize, to: PartitionId) {
+        let entry = &mut self.log[position];
+        debug_assert!(entry.live, "only live copies migrate");
+        let edge = entry.edge;
+        let from = entry.part;
+        entry.part = to;
+        self.ecount[from.index()] -= 1;
+        self.ecount[to.index()] += 1;
+        self.remove_incidence(edge.src, from);
+        self.add_incidence(edge.src, to);
+        if edge.dst != edge.src {
+            self.remove_incidence(edge.dst, from);
+            self.add_incidence(edge.dst, to);
+        }
+    }
+
+    /// Runs one rebalance epoch if the maintained metrics exceed the
+    /// `config` thresholds, migrating edge copies on the partitioner's own
+    /// state and returning the [`MigrationPlan`] to replay downstream
+    /// (e.g. via `ebv_bsp::MutationBatch::record_move`).
+    ///
+    /// The epoch is greedy and deterministic:
+    ///
+    /// 1. **Load phase** — while some partition holds more than
+    ///    `target_edge_imbalance × |E| / p` edges (rounded up to the
+    ///    feasible floor `⌈|E| / p⌉`), move the copy with the smallest
+    ///    replication delta from the most loaded partition to the least
+    ///    loaded one.
+    /// 2. **Consolidation sweep** — when the replication factor triggered
+    ///    the epoch, additionally migrate copies whose move strictly frees
+    ///    replicas without pushing any partition over the load cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidParameter`] for thresholds below 1
+    /// or a target above the trigger threshold.
+    pub fn rebalance(&mut self, config: &RebalanceConfig) -> Result<MigrationPlan> {
+        config.validate()?;
+        let mut plan = MigrationPlan::default();
+        if !self.needs_rebalance(config) {
+            return Ok(plan);
+        }
+        let p = self.num_partitions;
+        let average = self.live_edges as f64 / p as f64;
+        let cap = (average.ceil() as usize)
+            .max((average * config.target_edge_imbalance).floor() as usize);
+
+        // Live log positions per partition, in insertion order.
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (position, entry) in self.log.iter().enumerate() {
+            if entry.live {
+                positions[entry.part.index()].push(position);
+            }
+        }
+
+        // Load phase: drain each overloaded partition in turn. The donor's
+        // copies are scored *once* (against the least-loaded partition at
+        // scan time — the replica-freeing component of the delta dominates
+        // and is receiver-independent), sorted, and migrated cheapest
+        // first; each individual move still goes to the least-loaded
+        // partition at that moment.
+        let mut stop = false;
+        while !stop {
+            let donor = (0..p).max_by_key(|&i| self.ecount[i]).expect("p >= 1");
+            if self.ecount[donor] <= cap {
+                break;
+            }
+            let from = PartitionId::from_index(donor);
+            let hint_receiver =
+                PartitionId::from_index((0..p).min_by_key(|&i| self.ecount[i]).expect("p >= 1"));
+            let mut candidates: Vec<(i64, usize)> = positions[donor]
+                .iter()
+                .map(|&position| {
+                    (
+                        self.move_delta(self.log[position].edge, from, hint_receiver),
+                        position,
+                    )
+                })
+                .collect();
+            candidates.sort_unstable();
+            let mut iter = candidates.into_iter();
+            while self.ecount[donor] > cap {
+                let receiver = (0..p).min_by_key(|&i| self.ecount[i]).expect("p >= 1");
+                if receiver == donor || self.ecount[receiver] + 1 > cap {
+                    stop = true;
+                    break;
+                }
+                let Some((_, position)) = iter.next() else {
+                    stop = true;
+                    break;
+                };
+                let to = PartitionId::from_index(receiver);
+                let edge = self.log[position].edge;
+                self.apply_move(position, to);
+                positions[receiver].push(position);
+                plan.moves.push(EdgeMove { edge, from, to });
+            }
+            positions[donor] = iter.map(|(_, position)| position).collect();
+        }
+
+        // Consolidation sweep: only when replication triggered the epoch.
+        if self.metrics().replication_factor > config.max_replication_factor {
+            for position in 0..self.log.len() {
+                if !self.log[position].live {
+                    continue;
+                }
+                let edge = self.log[position].edge;
+                let from = self.log[position].part;
+                let mut best: Option<(i64, usize)> = None;
+                for i in 0..p {
+                    let to = PartitionId::from_index(i);
+                    if to == from || self.ecount[i] + 1 > cap {
+                        continue;
+                    }
+                    let delta = self.move_delta(edge, from, to);
+                    if delta < 0 && best.is_none_or(|(d, _)| delta < d) {
+                        best = Some((delta, i));
+                    }
+                }
+                if let Some((_, i)) = best {
+                    let to = PartitionId::from_index(i);
+                    self.apply_move(position, to);
+                    plan.moves.push(EdgeMove { edge, from, to });
+                }
+            }
+        }
+
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use ebv_graph::generators::{GraphGenerator, RmatGenerator};
+    use ebv_graph::GraphBuilder;
+
+    fn edge(s: u64, d: u64) -> Edge {
+        Edge::from((s, d))
+    }
+
+    /// Recomputes the maintained metrics from scratch over the survivors.
+    fn reference_metrics(partitioner: &DynamicPartitioner) -> PartitionMetrics {
+        let mut builder = GraphBuilder::directed();
+        for (e, _) in partitioner.surviving() {
+            builder.add_edge(e);
+        }
+        builder.num_vertices(partitioner.num_vertices());
+        let graph = builder.build().unwrap();
+        let result = partitioner.snapshot().unwrap();
+        PartitionMetrics::compute(&graph, &result).unwrap()
+    }
+
+    fn assert_bit_identical(a: PartitionMetrics, b: PartitionMetrics) {
+        assert!(
+            a.edge_imbalance == b.edge_imbalance
+                && a.vertex_imbalance == b.vertex_imbalance
+                && a.replication_factor == b.replication_factor,
+            "maintained {a:?} != recomputed {b:?}"
+        );
+    }
+
+    #[test]
+    fn insert_only_matches_streaming_bit_for_bit() {
+        let g = RmatGenerator::new(8, 8).with_seed(21).generate().unwrap();
+        let config = StreamConfig::new(5)
+            .with_expected_vertices(g.num_vertices())
+            .with_expected_edges(g.num_edges());
+        let mut streaming = EbvPartitioner::new().streaming(config).unwrap();
+        let mut dynamic = EbvPartitioner::new().dynamic(config).unwrap();
+        for &e in g.edges() {
+            assert_eq!(streaming.ingest(e), dynamic.insert(e), "edge {e}");
+        }
+        let streamed = streaming.finish().unwrap();
+        assert_eq!(streamed, dynamic.snapshot().unwrap());
+
+        let mut s_hdrf = HdrfPartitioner::new().streaming(config).unwrap();
+        let mut d_hdrf = HdrfPartitioner::new().dynamic(config).unwrap();
+        for &e in g.edges() {
+            assert_eq!(s_hdrf.ingest(e), d_hdrf.insert(e), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn deletion_reverts_state_exactly() {
+        let mut dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(3)).unwrap();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            dynamic.insert(edge(s, d));
+        }
+        let before = dynamic.metrics();
+        let part = dynamic.insert(edge(4, 5));
+        assert_eq!(dynamic.delete(edge(4, 5)).unwrap(), part);
+        let after = dynamic.metrics();
+        assert_eq!(dynamic.live_edges(), 5);
+        // The universe grew (vertices 4 and 5 were observed), so the
+        // replication factor denominator changed; load and cover state are
+        // identical.
+        assert_eq!(before.edge_imbalance, after.edge_imbalance);
+        assert_eq!(before.vertex_imbalance, after.vertex_imbalance);
+        assert_bit_identical(after, reference_metrics(&dynamic));
+    }
+
+    #[test]
+    fn duplicate_copies_form_a_multiset_with_lifo_deletion() {
+        let mut dynamic = RandomVertexCutPartitioner::new()
+            .dynamic(StreamConfig::new(4))
+            .unwrap();
+        let e = edge(7, 9);
+        let p1 = dynamic.insert(e);
+        let p2 = dynamic.insert(e);
+        assert_eq!(p1, p2, "edge-hash placement is copy-independent");
+        assert_eq!(dynamic.live_edges(), 2);
+        dynamic.delete(e).unwrap();
+        assert_eq!(dynamic.live_edges(), 1);
+        assert!(dynamic.covers(VertexId::new(7), p1));
+        dynamic.delete(e).unwrap();
+        assert!(!dynamic.covers(VertexId::new(7), p1));
+        assert!(matches!(
+            dynamic.delete(e),
+            Err(PartitionError::EdgeNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_stay_exact_under_interleaved_churn() {
+        let g = RmatGenerator::new(7, 8).with_seed(3).generate().unwrap();
+        let mut dynamic = HdrfPartitioner::new()
+            .dynamic(StreamConfig::new(4))
+            .unwrap();
+        let mut live: Vec<Edge> = Vec::new();
+        for (i, &e) in g.edges().iter().enumerate() {
+            dynamic.insert(e);
+            live.push(e);
+            if i % 3 == 2 {
+                let victim = live.swap_remove((i * 7) % live.len());
+                dynamic.delete(victim).unwrap();
+            }
+        }
+        assert_eq!(dynamic.live_edges(), live.len());
+        assert_bit_identical(dynamic.metrics(), reference_metrics(&dynamic));
+    }
+
+    #[test]
+    fn dynamic_random_is_history_oblivious() {
+        let g = RmatGenerator::new(7, 6).with_seed(5).generate().unwrap();
+        let mut dynamic = RandomVertexCutPartitioner::new()
+            .with_salt(11)
+            .dynamic(StreamConfig::new(6))
+            .unwrap();
+        for &e in g.edges() {
+            dynamic.insert(e);
+        }
+        for &e in g.edges().iter().step_by(2) {
+            dynamic.delete(e).unwrap();
+        }
+        let survivors: Vec<(Edge, PartitionId)> = dynamic.surviving().collect();
+        let mut fresh = RandomVertexCutPartitioner::new()
+            .with_salt(11)
+            .dynamic(StreamConfig::new(6))
+            .unwrap();
+        for &(e, expected) in &survivors {
+            assert_eq!(fresh.insert(e), expected, "edge {e}");
+        }
+        assert_eq!(fresh.snapshot().unwrap(), dynamic.snapshot().unwrap());
+    }
+
+    #[test]
+    fn rebalancer_restores_edge_balance() {
+        let g = RmatGenerator::new(8, 8).with_seed(13).generate().unwrap();
+        let mut dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(4)).unwrap();
+        for &e in g.edges() {
+            dynamic.insert(e);
+        }
+        // Starve three partitions: delete most of their edges so the
+        // remaining load concentrates on partition 0.
+        let victims: Vec<Edge> = dynamic
+            .surviving()
+            .filter(|(_, part)| part.index() != 0)
+            .map(|(e, _)| e)
+            .collect();
+        for e in victims.iter().take(victims.len() * 9 / 10) {
+            dynamic.delete(*e).unwrap();
+        }
+        let config = RebalanceConfig::new()
+            .with_max_edge_imbalance(1.2)
+            .with_target_edge_imbalance(1.05);
+        let before = dynamic.metrics();
+        assert!(before.edge_imbalance > 1.2, "setup is skewed: {before:?}");
+        assert!(dynamic.needs_rebalance(&config));
+        let plan = dynamic.rebalance(&config).unwrap();
+        assert!(!plan.is_empty());
+        let after = dynamic.metrics();
+        assert!(
+            after.edge_imbalance < before.edge_imbalance,
+            "rebalance must reduce imbalance: {} -> {}",
+            before.edge_imbalance,
+            after.edge_imbalance
+        );
+        assert!(!dynamic.needs_rebalance(&config), "after {after:?}");
+        // The migrated state is still exactly consistent.
+        assert_bit_identical(after, reference_metrics(&dynamic));
+        // And the plan replays: every move names a partition in range.
+        for m in plan.moves() {
+            assert!(m.from.index() < 4 && m.to.index() < 4 && m.from != m.to);
+        }
+    }
+
+    #[test]
+    fn consolidation_sweep_reduces_replication() {
+        // Spread copies of a small clique across partitions with the
+        // position-dependent streaming-style churn, then ask the rebalancer
+        // to consolidate.
+        let mut dynamic = HdrfPartitioner::new()
+            .with_lambda(50.0)
+            .dynamic(StreamConfig::new(4))
+            .unwrap();
+        for s in 0..6u64 {
+            for d in 0..6u64 {
+                if s != d {
+                    dynamic.insert(edge(s, d));
+                }
+            }
+        }
+        let before = dynamic.metrics();
+        let config = RebalanceConfig::new()
+            .with_max_edge_imbalance(4.0)
+            .with_target_edge_imbalance(1.4)
+            .with_max_replication_factor(1.0);
+        let plan = dynamic.rebalance(&config).unwrap();
+        let after = dynamic.metrics();
+        assert!(!plan.is_empty());
+        assert!(
+            after.replication_factor < before.replication_factor,
+            "consolidation must free replicas: {} -> {}",
+            before.replication_factor,
+            after.replication_factor
+        );
+        assert_bit_identical(after, reference_metrics(&dynamic));
+    }
+
+    #[test]
+    fn below_threshold_epoch_is_a_no_op() {
+        let mut dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            dynamic.insert(edge(s, d));
+        }
+        let plan = dynamic
+            .rebalance(&RebalanceConfig::new().with_max_edge_imbalance(8.0))
+            .unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(EbvPartitioner::new().dynamic(StreamConfig::new(0)).is_err());
+        assert!(EbvPartitioner::new()
+            .with_alpha(-1.0)
+            .dynamic(StreamConfig::new(2))
+            .is_err());
+        assert!(HdrfPartitioner::new()
+            .with_lambda(f64::NAN)
+            .dynamic(StreamConfig::new(2))
+            .is_err());
+        let mut dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        dynamic.insert(edge(0, 1));
+        let bad = RebalanceConfig::new()
+            .with_max_edge_imbalance(1.1)
+            .with_target_edge_imbalance(2.0);
+        assert!(dynamic.rebalance(&bad).is_err());
+        assert!(RebalanceConfig::new()
+            .with_max_edge_imbalance(0.5)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn empty_partitioner_reports_unit_metrics() {
+        let dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(3)).unwrap();
+        let m = dynamic.metrics();
+        assert_eq!(m.edge_imbalance, 1.0);
+        assert_eq!(m.vertex_imbalance, 1.0);
+        assert_eq!(m.replication_factor, 1.0);
+        assert!(dynamic.is_empty());
+        assert_eq!(dynamic.name(), "EBV-dynamic");
+        assert!(dynamic.state_bytes() >= 3 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn compaction_bounds_state_by_live_edges() {
+        let mut dynamic = EbvPartitioner::new().dynamic(StreamConfig::new(4)).unwrap();
+        // A window-like workload: 50k arrivals, live set capped at 100 by
+        // deleting the oldest edge on every arrival past the cap.
+        let mut live: std::collections::VecDeque<Edge> = std::collections::VecDeque::new();
+        for i in 0..50_000u64 {
+            let e = edge(i % 997, (i * 7 + 1) % 997);
+            dynamic.insert(e);
+            live.push_back(e);
+            if live.len() > 100 {
+                dynamic.delete(live.pop_front().unwrap()).unwrap();
+            }
+        }
+        assert_eq!(dynamic.live_edges(), 100);
+        // Without compaction the log alone would hold 50k entries
+        // (~1.7 MB); compaction keeps resident state proportional to the
+        // live set.
+        assert!(
+            dynamic.state_bytes() < 100_000,
+            "state not compacted: {} bytes",
+            dynamic.state_bytes()
+        );
+        // The compacted state is still exactly consistent and usable.
+        assert_bit_identical(dynamic.metrics(), reference_metrics(&dynamic));
+        let (expected_edge, expected_part) = dynamic.surviving().next().unwrap();
+        assert_eq!(dynamic.delete(expected_edge).unwrap(), expected_part);
+    }
+
+    #[test]
+    fn self_loops_count_one_replica() {
+        let mut dynamic = RandomVertexCutPartitioner::new()
+            .dynamic(StreamConfig::new(2))
+            .unwrap();
+        let part = dynamic.insert(edge(3, 3));
+        assert_eq!(dynamic.vertex_counts()[part.index()], 1);
+        dynamic.delete(edge(3, 3)).unwrap();
+        assert_eq!(dynamic.vertex_counts()[part.index()], 0);
+    }
+}

@@ -161,6 +161,21 @@ impl EbvPartitioner {
         crate::StreamingEbv::from_parts(self.alpha, self.beta, config)
     }
 
+    /// Creates the dynamic (evolving-graph) form of this partitioner: an
+    /// insert/delete-driven partitioner with the same `α`/`β` configuration
+    /// whose maintained state stays exact under deletions; see
+    /// [`crate::dynamic`]. Insert-only sequences are bit-identical to
+    /// [`EbvPartitioner::streaming`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidParameter`] for invalid `α`/`β` and
+    /// [`PartitionError::InvalidPartitionCount`] for a zero partition count.
+    pub fn dynamic(&self, config: crate::StreamConfig) -> Result<crate::DynamicPartitioner> {
+        self.validate()?;
+        crate::DynamicPartitioner::ebv(self.alpha, self.beta, config)
+    }
+
     /// Runs Algorithm 1 and additionally records the replication-factor
     /// growth curve plotted in Figure 5 of the paper.
     ///

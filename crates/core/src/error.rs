@@ -29,6 +29,12 @@ pub enum PartitionError {
         /// Human-readable description of the inconsistency.
         message: String,
     },
+    /// A deletion or migration referenced an edge with no live copy in a
+    /// dynamic partitioner's state.
+    EdgeNotPresent {
+        /// Human-readable description naming the missing edge.
+        message: String,
+    },
     /// An error bubbled up from the graph substrate.
     Graph(GraphError),
 }
@@ -44,6 +50,9 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::InconsistentAssignment { message } => {
                 write!(f, "inconsistent partition assignment: {message}")
+            }
+            PartitionError::EdgeNotPresent { message } => {
+                write!(f, "edge not present: {message}")
             }
             PartitionError::Graph(err) => write!(f, "graph error: {err}"),
         }

@@ -38,6 +38,7 @@
 mod assignment;
 pub mod baselines;
 pub mod bounds;
+pub mod dynamic;
 mod ebv;
 mod error;
 mod membership;
@@ -52,6 +53,7 @@ pub use baselines::{
     CvcPartitioner, DbhPartitioner, GingerPartitioner, HdrfPartitioner, MetisLikePartitioner,
     NePartitioner, RandomEdgeCutPartitioner, RandomVertexCutPartitioner,
 };
+pub use dynamic::{DynamicPartitioner, EdgeMove, MigrationPlan, RebalanceConfig};
 pub use ebv::{EbvPartitioner, EbvTrace, TracePoint};
 pub use error::{PartitionError, Result};
 pub use membership::MembershipMatrix;
@@ -67,10 +69,11 @@ pub use types::PartitionId;
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        CvcPartitioner, DbhPartitioner, EbvPartitioner, EdgeOrder, EdgePartition,
-        GingerPartitioner, HdrfPartitioner, MetisLikePartitioner, NePartitioner, PartitionId,
-        PartitionMetrics, PartitionResult, Partitioner, RandomEdgeCutPartitioner,
-        RandomVertexCutPartitioner, StreamConfig, StreamingPartitioner, VertexPartition,
+        CvcPartitioner, DbhPartitioner, DynamicPartitioner, EbvPartitioner, EdgeOrder,
+        EdgePartition, GingerPartitioner, HdrfPartitioner, MetisLikePartitioner, MigrationPlan,
+        NePartitioner, PartitionId, PartitionMetrics, PartitionResult, Partitioner,
+        RandomEdgeCutPartitioner, RandomVertexCutPartitioner, RebalanceConfig, StreamConfig,
+        StreamingPartitioner, VertexPartition,
     };
 }
 

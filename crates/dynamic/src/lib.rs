@@ -1,0 +1,81 @@
+//! # ebv-dynamic — evolving-graph support for the EBV reproduction
+//!
+//! The batch path partitions a frozen edge list and the streaming path
+//! (`ebv-stream`, PR 1) partitions an insert-only stream; real workloads
+//! *mutate* — social edges churn, road segments close. This crate opens the
+//! evolving-graph scenario family: mutation streams of
+//! [`GraphEvent::Insert`]/[`GraphEvent::Delete`] flow through a
+//! [`DynamicPartitioner`](ebv_partition::DynamicPartitioner) whose
+//! reference-counted state stays *exactly* consistent under deletions, and
+//! the resulting [`MutationBatch`](ebv_bsp::MutationBatch)es are absorbed by
+//! [`DistributedGraph::apply_mutations`](ebv_bsp::DistributedGraph::apply_mutations)
+//! so BSP applications re-run on the updated distribution.
+//!
+//! The subsystem layers as
+//!
+//! ```text
+//! EventSource ──► DynamicPartitioner ──► MutationBatch ──► apply_mutations ──► BSP
+//!     │                  │                                      (epoch += 1)
+//!     │                  └─ ebv_partition::dynamic (EBV, HDRF, Random;
+//!     │                     exact decremental metrics, rebalancer)
+//!     ├─ InsertEvents(any ebv-stream EdgeSource)
+//!     ├─ SlidingWindow · TumblingWindow   (bounded live edge set)
+//!     └─ ChurnStream                      (randomized insert/delete mix)
+//!
+//!        EventPipeline drives the flow batch-by-batch and records
+//!        delta-metrics after every batch; batch_from_plan() replays
+//!        rebalance migrations downstream.
+//! ```
+//!
+//! ## Quick example
+//!
+//! Maintain a partition under churn and absorb the mutations into a
+//! distributed graph, one batch at a time:
+//!
+//! ```
+//! use ebv_bsp::DistributedGraph;
+//! use ebv_dynamic::{ChurnStream, EventPipeline};
+//! use ebv_partition::EbvPartitioner;
+//! use ebv_stream::{EdgeSource, RmatEdgeStream};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stream = RmatEdgeStream::new(10, 10_000).with_seed(1);
+//! let workers = 4;
+//! let mut partitioner = EbvPartitioner::new().dynamic(stream.stream_config(workers))?;
+//! let mut distributed = DistributedGraph::build_streaming(workers, None, Vec::new())?;
+//!
+//! let churn = ChurnStream::new(stream, 0.25)?.with_seed(9);
+//! EventPipeline::new(2_048).run(churn, &mut partitioner, |batch, metrics| {
+//!     distributed = distributed.apply_mutations(batch)?;
+//!     assert!(metrics.edge_imbalance >= 1.0);
+//!     Ok(())
+//! })?;
+//!
+//! assert_eq!(distributed.num_edges(), partitioner.live_edges());
+//! assert!(distributed.epoch() >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod churn;
+mod error;
+mod event;
+mod pipeline;
+mod window;
+
+pub use churn::ChurnStream;
+pub use error::{DynamicError, Result};
+pub use event::{events, EventSource, EventVec, GraphEvent, InsertEvents};
+pub use pipeline::{batch_from_plan, BatchReport, EventPipeline, EventReport};
+pub use window::{SlidingWindow, TumblingWindow};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::{
+        batch_from_plan, events, ChurnStream, DynamicError, EventPipeline, EventReport,
+        EventSource, GraphEvent, InsertEvents, SlidingWindow, TumblingWindow,
+    };
+}

@@ -1,0 +1,300 @@
+//! The event pipeline: mutation stream → [`DynamicPartitioner`] → batched
+//! [`MutationBatch`]es for the distribution layer.
+
+use ebv_bsp::MutationBatch;
+use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionMetrics};
+
+use crate::error::{DynamicError, Result};
+use crate::event::{EventSource, GraphEvent};
+
+/// Drives an [`EventSource`] through a [`DynamicPartitioner`] in fixed-size
+/// event batches.
+///
+/// Each insert is placed by the partitioner and each delete decrements its
+/// state exactly; the resulting `(edge, partition)` mutations accumulate
+/// into a [`MutationBatch`] (with same-batch insert/delete cancellation)
+/// that is handed to `on_batch` together with the maintained delta-metrics
+/// — ready to replay via
+/// [`DistributedGraph::apply_mutations`](ebv_bsp::DistributedGraph::apply_mutations).
+///
+/// # Examples
+///
+/// ```
+/// use ebv_dynamic::{ChurnStream, EventPipeline};
+/// use ebv_partition::EbvPartitioner;
+/// use ebv_stream::{EdgeSource, RmatEdgeStream};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stream = RmatEdgeStream::new(10, 5_000).with_seed(2);
+/// let mut partitioner = EbvPartitioner::new().dynamic(stream.stream_config(4))?;
+/// let churn = ChurnStream::new(stream, 0.2)?.with_seed(3);
+/// let report = EventPipeline::new(1_000).run(churn, &mut partitioner, |batch, metrics| {
+///     assert!(!batch.is_empty());
+///     assert!(metrics.edge_imbalance >= 1.0);
+///     Ok(())
+/// })?;
+/// assert_eq!(report.total_inserts(), 5_000);
+/// assert_eq!(partitioner.live_edges(), 5_000 - report.total_deletes());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventPipeline {
+    batch_size: usize,
+}
+
+impl EventPipeline {
+    /// Creates a pipeline emitting one batch every `batch_size` events (the
+    /// final batch may be short).
+    pub fn new(batch_size: usize) -> Self {
+        EventPipeline { batch_size }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Streams every event of `source` through `partitioner`, invoking
+    /// `on_batch(batch, metrics)` after every `batch_size` events and once
+    /// more for a non-empty final remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicError::InvalidParameter`] for a zero batch size,
+    /// propagates source errors, deletion of non-live edges
+    /// ([`ebv_partition::PartitionError::EdgeNotPresent`]) and any error
+    /// returned by `on_batch`. Events applied before a failure remain in
+    /// the partitioner.
+    pub fn run<S, F>(
+        &self,
+        mut source: S,
+        partitioner: &mut DynamicPartitioner,
+        mut on_batch: F,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&MutationBatch, PartitionMetrics) -> Result<()>,
+    {
+        if self.batch_size == 0 {
+            return Err(DynamicError::InvalidParameter {
+                parameter: "batch_size",
+                message: "the batch size must be at least 1".to_string(),
+            });
+        }
+        let mut report = EventReport::default();
+        let mut batch = MutationBatch::new();
+        let mut batch_inserts = 0usize;
+        let mut batch_deletes = 0usize;
+        loop {
+            let event = match source.next_event() {
+                None => break,
+                Some(Err(err)) => return Err(err),
+                Some(Ok(event)) => event,
+            };
+            match event {
+                GraphEvent::Insert(edge) => {
+                    let part = partitioner.insert(edge);
+                    batch.record_insert(edge, part);
+                    batch_inserts += 1;
+                }
+                GraphEvent::Delete(edge) => {
+                    let part = partitioner.delete(edge)?;
+                    batch.record_delete(edge, part);
+                    batch_deletes += 1;
+                }
+            }
+            if batch_inserts + batch_deletes == self.batch_size {
+                let metrics = partitioner.metrics();
+                on_batch(&batch, metrics)?;
+                report.push(batch_inserts, batch_deletes, metrics);
+                batch = MutationBatch::new();
+                batch_inserts = 0;
+                batch_deletes = 0;
+            }
+        }
+        if batch_inserts + batch_deletes > 0 {
+            let metrics = partitioner.metrics();
+            on_batch(&batch, metrics)?;
+            report.push(batch_inserts, batch_deletes, metrics);
+        }
+        Ok(report)
+    }
+}
+
+/// Converts a rebalancer [`MigrationPlan`] into the [`MutationBatch`] that
+/// replays the same migrations against a distributed graph.
+pub fn batch_from_plan(plan: &MigrationPlan) -> MutationBatch {
+    let mut batch = MutationBatch::new();
+    for m in plan.moves() {
+        batch.record_move(m.edge, m.from, m.to);
+    }
+    batch
+}
+
+/// The running metrics recorded after one event batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// 0-based index of the batch.
+    pub batch_index: usize,
+    /// Insertions the batch carried.
+    pub inserts: usize,
+    /// Deletions the batch carried.
+    pub deletes: usize,
+    /// Maintained delta-metrics after the batch.
+    pub metrics: PartitionMetrics,
+}
+
+/// The outcome of one pipeline run: how much churned, batch by batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventReport {
+    batches: Vec<BatchReport>,
+    total_inserts: usize,
+    total_deletes: usize,
+}
+
+impl EventReport {
+    fn push(&mut self, inserts: usize, deletes: usize, metrics: PartitionMetrics) {
+        self.batches.push(BatchReport {
+            batch_index: self.batches.len(),
+            inserts,
+            deletes,
+            metrics,
+        });
+        self.total_inserts += inserts;
+        self.total_deletes += deletes;
+    }
+
+    /// Per-batch reports in stream order.
+    pub fn batches(&self) -> &[BatchReport] {
+        &self.batches
+    }
+
+    /// Total insertions across the run.
+    pub fn total_inserts(&self) -> usize {
+        self.total_inserts
+    }
+
+    /// Total deletions across the run.
+    pub fn total_deletes(&self) -> usize {
+        self.total_deletes
+    }
+
+    /// The metrics after the final batch, or `None` for an empty stream.
+    pub fn final_metrics(&self) -> Option<PartitionMetrics> {
+        self.batches.last().map(|b| b.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnStream;
+    use crate::event::{events, GraphEvent, InsertEvents};
+    use ebv_graph::Edge;
+    use ebv_partition::{EbvPartitioner, PartitionError, RebalanceConfig, StreamConfig};
+    use ebv_stream::{EdgeSource, RmatEdgeStream};
+
+    #[test]
+    fn batches_cover_every_event_and_cancel_within_batch() {
+        let e = Edge::from((0u64, 1u64));
+        let f = Edge::from((1u64, 2u64));
+        let source = events(vec![
+            GraphEvent::Insert(e),
+            GraphEvent::Insert(f),
+            GraphEvent::Delete(e),
+        ]);
+        let mut partitioner = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        let mut seen = Vec::new();
+        let report = EventPipeline::new(10)
+            .run(source, &mut partitioner, |batch, _| {
+                seen.push(batch.clone());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.total_inserts(), 2);
+        assert_eq!(report.total_deletes(), 1);
+        assert_eq!(seen.len(), 1);
+        // The insert of `e` cancelled against its same-batch delete.
+        assert_eq!(seen[0].added().len(), 1);
+        assert!(seen[0].removed().is_empty());
+        assert_eq!(partitioner.live_edges(), 1);
+    }
+
+    #[test]
+    fn batch_size_controls_emission() {
+        let stream = RmatEdgeStream::new(8, 1000).with_seed(4);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let report = EventPipeline::new(256)
+            .run(InsertEvents::new(stream), &mut partitioner, |_, _| Ok(()))
+            .unwrap();
+        // 1000 = 3 × 256 + 232: four batches, the last one short.
+        assert_eq!(report.batches().len(), 4);
+        assert_eq!(report.batches()[3].inserts, 1000 - 3 * 256);
+        assert_eq!(report.final_metrics().unwrap(), partitioner.metrics());
+        for w in report.batches().windows(2) {
+            assert!(w[0].batch_index < w[1].batch_index);
+        }
+    }
+
+    #[test]
+    fn deleting_a_missing_edge_is_a_typed_error() {
+        let source = events(vec![GraphEvent::Delete(Edge::from((5u64, 6u64)))]);
+        let mut partitioner = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        let err = EventPipeline::new(8)
+            .run(source, &mut partitioner, |_, _| Ok(()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DynamicError::Partition(PartitionError::EdgeNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected_and_callback_errors_propagate() {
+        let mut partitioner = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        assert!(EventPipeline::new(0)
+            .run(events(Vec::new()), &mut partitioner, |_, _| Ok(()))
+            .is_err());
+        let source = events(vec![GraphEvent::Insert(Edge::from((0u64, 1u64)))]);
+        let err = EventPipeline::new(1)
+            .run(source, &mut partitioner, |_, _| {
+                Err(DynamicError::InvalidParameter {
+                    parameter: "sink",
+                    message: "boom".to_string(),
+                })
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn plan_batches_replay_migrations() {
+        let stream = RmatEdgeStream::new(8, 800).with_seed(6);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let churn = ChurnStream::new(stream, 0.3).unwrap().with_seed(1);
+        EventPipeline::new(200)
+            .run(churn, &mut partitioner, |_, _| Ok(()))
+            .unwrap();
+        // Starve partitions 1..4 to force a skew, then rebalance.
+        let victims: Vec<Edge> = partitioner
+            .surviving()
+            .filter(|(_, part)| part.index() != 0)
+            .map(|(e, _)| e)
+            .collect();
+        for e in victims.iter().take(victims.len() * 4 / 5) {
+            partitioner.delete(*e).unwrap();
+        }
+        let plan = partitioner
+            .rebalance(&RebalanceConfig::new().with_max_edge_imbalance(1.2))
+            .unwrap();
+        assert!(!plan.is_empty());
+        let batch = batch_from_plan(&plan);
+        assert_eq!(batch.added().len(), plan.len());
+        assert_eq!(batch.removed().len(), plan.len());
+    }
+}

@@ -10,7 +10,7 @@ use crate::graph::Graph;
 ///
 /// Collects, for every observed degree `d`, the number of vertices with that
 /// degree. The distribution is the basis for the power-law exponent
-/// estimation in [`crate::powerlaw`] and for the skew statistics reported in
+/// estimation in [`estimate_eta`](crate::estimate_eta) and for the skew statistics reported in
 /// Table I of the paper.
 ///
 /// # Examples

@@ -1,0 +1,156 @@
+//! Property and adversarial tests for the binary varint edge-stream
+//! format: arbitrary edge lists roundtrip exactly, and every malformed
+//! input class (truncation, overlong varints, bad magic) surfaces as a
+//! typed [`StreamError::InvalidFormat`] — never a panic.
+
+use proptest::prelude::*;
+
+use ebv_graph::Edge;
+use ebv_stream::{BinaryEdgeReader, BinaryEdgeWriter, EdgeSource, StreamError, MAGIC};
+
+fn encode(edges: &[(u64, u64)]) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    let mut writer = BinaryEdgeWriter::new(&mut buffer).unwrap();
+    for &pair in edges {
+        writer.write_edge(Edge::from(pair)).unwrap();
+    }
+    writer.finish().unwrap();
+    buffer
+}
+
+fn decode_all(bytes: &[u8]) -> Result<Vec<Edge>, StreamError> {
+    let mut reader = BinaryEdgeReader::new(bytes)?;
+    let mut out = Vec::new();
+    while let Some(edge) = reader.next_edge() {
+        out.push(edge?);
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Roundtrip: any edge list (including endpoints spanning every varint
+    /// length class up to the full u64 range) decodes to exactly the edges
+    /// that were written.
+    #[test]
+    fn arbitrary_edges_roundtrip(edges in proptest::collection::vec(
+        (any::<u64>(), any::<u64>()),
+        0..200,
+    )) {
+        let bytes = encode(&edges);
+        let decoded = decode_all(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), edges.len());
+        for (edge, &(s, d)) in decoded.iter().zip(&edges) {
+            prop_assert_eq!(*edge, Edge::from((s, d)));
+        }
+    }
+
+    /// Truncating a valid stream at any byte inside the edge payload either
+    /// yields a clean prefix of the edges or a typed InvalidFormat error —
+    /// never a panic, never a phantom edge.
+    #[test]
+    fn truncation_never_panics(
+        edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..50),
+        cut in any::<u64>(),
+    ) {
+        let bytes = encode(&edges);
+        let cut = MAGIC.len() + (cut as usize) % (bytes.len() - MAGIC.len());
+        match decode_all(&bytes[..cut]) {
+            Ok(decoded) => {
+                // A clean cut at a pair boundary: a strict prefix.
+                prop_assert!(decoded.len() < edges.len());
+                for (edge, &(s, d)) in decoded.iter().zip(&edges) {
+                    prop_assert_eq!(*edge, Edge::from((s, d)));
+                }
+            }
+            Err(StreamError::InvalidFormat { offset, .. }) => {
+                prop_assert!(offset <= bytes.len() as u64);
+            }
+            Err(other) => prop_assert!(false, "unexpected error class: {}", other),
+        }
+    }
+}
+
+#[test]
+fn truncated_varint_mid_continuation_is_invalid_format() {
+    // A single continuation byte promises more bytes that never arrive.
+    let mut bytes = MAGIC.to_vec();
+    bytes.push(0x80);
+    let mut reader = BinaryEdgeReader::new(bytes.as_slice()).unwrap();
+    let err = reader.next_edge().unwrap().unwrap_err();
+    assert!(
+        matches!(err, StreamError::InvalidFormat { ref message, .. } if message.contains("truncated")),
+        "got {err}"
+    );
+}
+
+#[test]
+fn truncated_second_endpoint_is_invalid_format() {
+    // A complete src varint with no dst at all: EOF at a non-pair boundary.
+    let mut bytes = MAGIC.to_vec();
+    bytes.push(0x07);
+    let mut reader = BinaryEdgeReader::new(bytes.as_slice()).unwrap();
+    let err = reader.next_edge().unwrap().unwrap_err();
+    assert!(
+        matches!(err, StreamError::InvalidFormat { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn overlong_varint_is_invalid_format_not_a_panic() {
+    // Eleven continuation groups: the value would need more than 64 bits.
+    let mut bytes = MAGIC.to_vec();
+    bytes.extend_from_slice(&[0xFF; 10]);
+    bytes.push(0x01);
+    let mut reader = BinaryEdgeReader::new(bytes.as_slice()).unwrap();
+    let err = reader.next_edge().unwrap().unwrap_err();
+    assert!(
+        matches!(err, StreamError::InvalidFormat { ref message, .. } if message.contains("overflow")),
+        "got {err}"
+    );
+}
+
+#[test]
+fn ten_byte_varint_with_excess_high_bits_is_rejected() {
+    // u64::MAX encodes as nine 0xFF bytes plus 0x01; flipping more bits
+    // into the tenth byte overflows the 64-bit value range.
+    let mut ok = MAGIC.to_vec();
+    ok.extend_from_slice(&[0xFF; 9]);
+    ok.push(0x01); // u64::MAX as src
+    ok.push(0x00); // dst = 0
+    let mut reader = BinaryEdgeReader::new(ok.as_slice()).unwrap();
+    let edge = reader.next_edge().unwrap().unwrap();
+    assert_eq!(edge.src.raw(), u64::MAX);
+    assert_eq!(edge.dst.raw(), 0);
+
+    let mut overflowing = MAGIC.to_vec();
+    overflowing.extend_from_slice(&[0xFF; 9]);
+    overflowing.push(0x03); // one bit beyond the 64th
+    overflowing.push(0x00);
+    let mut reader = BinaryEdgeReader::new(overflowing.as_slice()).unwrap();
+    let err = reader.next_edge().unwrap().unwrap_err();
+    assert!(
+        matches!(err, StreamError::InvalidFormat { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn error_offsets_point_into_the_stream() {
+    // First edge decodes, the second is truncated: the reported offset
+    // lands past the healthy edge.
+    let mut bytes = encode(&[(300, 400)]);
+    let healthy = bytes.len() as u64;
+    bytes.push(0x80);
+    let mut reader = BinaryEdgeReader::new(bytes.as_slice()).unwrap();
+    assert_eq!(
+        reader.next_edge().unwrap().unwrap(),
+        Edge::from((300u64, 400u64))
+    );
+    match reader.next_edge().unwrap().unwrap_err() {
+        StreamError::InvalidFormat { offset, .. } => assert!(offset >= healthy),
+        other => panic!("unexpected error class: {other}"),
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end evolving-graph pipeline: churned R-MAT mutation stream →
+//! dynamic EBV (exact decremental maintenance) → batched
+//! `apply_mutations` epochs on a distributed graph → imbalance-triggered
+//! rebalance → Connected Components, with from-scratch equality checks at
+//! every stage.
+//!
+//! The demo exercises the subsystem's central guarantees:
+//!
+//! * the maintained partition metrics after arbitrary insert/delete churn
+//!   are *bit-identical* to recomputing them from scratch over the
+//!   surviving edges;
+//! * the incrementally mutated `DistributedGraph` runs CC to exactly the
+//!   same labels as a fresh batch build of the survivors — before and
+//!   after a rebalance epoch migrates edges;
+//! * a sliding window bounds the live edge set regardless of stream
+//!   length.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example evolving_graph
+//! ```
+
+use std::time::Instant;
+
+use ebv::algorithms::ConnectedComponents;
+use ebv::bsp::{BspEngine, DistributedGraph};
+use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
+use ebv::graph::GraphBuilder;
+use ebv::partition::{EbvPartitioner, PartitionMetrics, RebalanceConfig, StreamConfig};
+use ebv::stream::{EdgeSource, RmatEdgeStream};
+
+const SCALE: u32 = 16; // 65 536 vertices
+const NUM_EDGES: usize = 400_000;
+const WORKERS: usize = 8;
+const CHURN: f64 = 0.25;
+const BATCH: usize = 50_000;
+const WINDOW: usize = 100_000;
+const SEED: u64 = 20_210_707;
+
+fn cc(distributed: &DistributedGraph) -> Vec<u64> {
+    BspEngine::threaded()
+        .run(distributed, &ConnectedComponents::new())
+        .expect("CC converges")
+        .values
+}
+
+fn fresh_build(
+    partitioner: &ebv::partition::DynamicPartitioner,
+) -> Result<DistributedGraph, Box<dyn std::error::Error>> {
+    Ok(DistributedGraph::build_streaming(
+        WORKERS,
+        Some(partitioner.num_vertices()),
+        partitioner.surviving(),
+    )?)
+}
+
+fn assert_metrics_recompute_exactly(
+    partitioner: &ebv::partition::DynamicPartitioner,
+) -> Result<PartitionMetrics, Box<dyn std::error::Error>> {
+    let mut builder = GraphBuilder::directed();
+    for (edge, _) in partitioner.surviving() {
+        builder.add_edge(edge);
+    }
+    builder.num_vertices(partitioner.num_vertices());
+    let graph = builder.build()?;
+    let recomputed = PartitionMetrics::compute(&graph, &partitioner.snapshot()?)?;
+    let maintained = partitioner.metrics();
+    assert!(
+        maintained.edge_imbalance == recomputed.edge_imbalance
+            && maintained.vertex_imbalance == recomputed.vertex_imbalance
+            && maintained.replication_factor == recomputed.replication_factor,
+        "maintained metrics drifted: {maintained:?} vs {recomputed:?}"
+    );
+    Ok(maintained)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "evolving graph: {NUM_EDGES} R-MAT arrivals over 2^{SCALE} vertices, churn {CHURN}, \
+         {WORKERS} workers, batches of {BATCH}\n"
+    );
+
+    // ── Phase 1: churned ingestion, one apply_mutations epoch per batch ──
+    let stream = RmatEdgeStream::new(SCALE, NUM_EDGES).with_seed(SEED);
+    let mut partitioner = EbvPartitioner::new().dynamic(stream.stream_config(WORKERS))?;
+    // Declare the generator's full vertex universe up front so the
+    // distribution and the partitioner agree on it at every epoch.
+    let mut distributed = DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())?;
+    let churn = ChurnStream::new(stream, CHURN)?.with_seed(SEED);
+
+    let started = Instant::now();
+    println!("epoch  live-edges  ins     del     rf      e-imb");
+    let report = EventPipeline::new(BATCH).run(churn, &mut partitioner, |batch, metrics| {
+        distributed = distributed.apply_mutations(batch)?;
+        println!(
+            "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}",
+            distributed.epoch(),
+            distributed.num_edges(),
+            batch.added().len(),
+            batch.removed().len(),
+            metrics.replication_factor,
+            metrics.edge_imbalance,
+        );
+        Ok(())
+    })?;
+    let elapsed = started.elapsed();
+    let events = report.total_inserts() + report.total_deletes();
+    println!(
+        "\nprocessed {events} events ({} inserts, {} deletes) in {elapsed:.2?} \
+         ({:.2e} events/s)",
+        report.total_inserts(),
+        report.total_deletes(),
+        events as f64 / elapsed.as_secs_f64(),
+    );
+    assert_eq!(distributed.num_edges(), partitioner.live_edges());
+
+    // Exactness check 1: maintained metrics recompute bit-identically.
+    let maintained = assert_metrics_recompute_exactly(&partitioner)?;
+    println!("maintained metrics == from-scratch recompute: {maintained}");
+
+    // Exactness check 2: CC on the mutated distribution equals CC on a
+    // fresh batch build of the survivors.
+    let labels_mutated = cc(&distributed);
+    let labels_fresh = cc(&fresh_build(&partitioner)?);
+    assert_eq!(labels_mutated, labels_fresh);
+    let mut components = labels_mutated.clone();
+    components.sort_unstable();
+    components.dedup();
+    println!(
+        "CC(mutated, epoch {}) == CC(fresh build): {} components\n",
+        distributed.epoch(),
+        components.len()
+    );
+
+    // ── Phase 2: skew + one rebalance epoch ──────────────────────────────
+    // Starve every partition but 0 to push the edge balance past the
+    // trigger, then let the rebalancer emit a migration plan.
+    let victims: Vec<_> = partitioner
+        .surviving()
+        .filter(|(_, part)| part.index() != 0)
+        .map(|(edge, _)| edge)
+        .collect();
+    let mut skew_batch = ebv::bsp::MutationBatch::new();
+    for edge in victims.iter().take(victims.len() * 4 / 5) {
+        let part = partitioner.delete(*edge)?;
+        skew_batch.record_delete(*edge, part);
+    }
+    distributed = distributed.apply_mutations(&skew_batch)?;
+
+    let config = RebalanceConfig::new()
+        .with_max_edge_imbalance(1.25)
+        .with_target_edge_imbalance(1.05);
+    let before = partitioner.metrics();
+    assert!(partitioner.needs_rebalance(&config));
+    let started = Instant::now();
+    let plan = partitioner.rebalance(&config)?;
+    let after = partitioner.metrics();
+    println!(
+        "rebalance epoch: edge imbalance {:.4} -> {:.4} via {} migrations ({:.2?})",
+        before.edge_imbalance,
+        after.edge_imbalance,
+        plan.len(),
+        started.elapsed(),
+    );
+    assert!(after.edge_imbalance <= config.max_edge_imbalance());
+    assert!(!partitioner.needs_rebalance(&config));
+
+    // Replay the migrations downstream and re-check both guarantees.
+    distributed = distributed.apply_mutations(&batch_from_plan(&plan))?;
+    assert_eq!(distributed.num_edges(), partitioner.live_edges());
+    assert_metrics_recompute_exactly(&partitioner)?;
+    let labels_after = cc(&distributed);
+    assert_eq!(labels_after, cc(&fresh_build(&partitioner)?));
+    println!(
+        "CC(rebalanced, epoch {}) == CC(fresh build): migration preserved every label\n",
+        distributed.epoch()
+    );
+
+    // ── Phase 3: sliding-window ingestion bounds the live set ────────────
+    let mut window = SlidingWindow::new(
+        RmatEdgeStream::new(SCALE, 3 * WINDOW / 2).with_seed(SEED + 1),
+        WINDOW,
+    )?;
+    let mut windowed =
+        EbvPartitioner::new().dynamic(StreamConfig::new(WORKERS).with_expected_edges(WINDOW))?;
+    let mut peak = 0usize;
+    while let Some(event) = window.next_event() {
+        match event? {
+            ebv::dynamic::GraphEvent::Insert(edge) => {
+                windowed.insert(edge);
+            }
+            ebv::dynamic::GraphEvent::Delete(edge) => {
+                windowed.delete(edge)?;
+            }
+        }
+        peak = peak.max(windowed.live_edges());
+    }
+    assert_eq!(peak, WINDOW, "the window caps the live edge set");
+    assert_eq!(windowed.live_edges(), WINDOW);
+    assert_metrics_recompute_exactly(&windowed)?;
+    println!(
+        "sliding window: {} arrivals, live set capped at {WINDOW} edges ({})",
+        3 * WINDOW / 2,
+        windowed.metrics(),
+    );
+    println!("\nevolving-graph pipeline: every exactness check passed");
+    Ok(())
+}

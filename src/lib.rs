@@ -9,6 +9,8 @@
 //!   variants and the quality metrics (`ebv-partition`)
 //! * [`stream`] — streaming edge ingestion and the chunked online
 //!   partitioning pipeline (`ebv-stream`)
+//! * [`dynamic`] — evolving-graph support: mutation events, window and
+//!   churn sources, the batched event pipeline (`ebv-dynamic`)
 //! * [`bsp`] — the subgraph-centric BSP engine and cost model (`ebv-bsp`)
 //! * [`algorithms`] — CC, SSSP, PageRank, BFS and their sequential
 //!   references (`ebv-algorithms`)
@@ -20,6 +22,7 @@
 
 pub use ebv_algorithms as algorithms;
 pub use ebv_bsp as bsp;
+pub use ebv_dynamic as dynamic;
 pub use ebv_graph as graph;
 pub use ebv_partition as partition;
 pub use ebv_stream as stream;
