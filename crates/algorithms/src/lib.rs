@@ -35,19 +35,22 @@
 
 mod bfs;
 mod cc;
+mod incremental;
 mod pagerank;
 pub mod reference;
 mod sssp;
 
 pub use bfs::{BreadthFirstSearch, UNVISITED};
 pub use cc::ConnectedComponents;
+pub use incremental::{IncrementalConnectedComponents, IncrementalPageRank};
 pub use pagerank::{ranks, PageRank, PageRankValue};
 pub use sssp::{SingleSourceShortestPath, UNREACHABLE};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        ranks, BreadthFirstSearch, ConnectedComponents, PageRank, SingleSourceShortestPath,
+        ranks, BreadthFirstSearch, ConnectedComponents, IncrementalConnectedComponents,
+        IncrementalPageRank, PageRank, SingleSourceShortestPath,
     };
 }
 

@@ -100,73 +100,14 @@ impl SubgraphProgram for PageRank {
         ctx: &mut SubgraphContext<'_, PageRankValue, f64>,
         superstep: usize,
     ) -> usize {
-        let n = ctx.subgraph().num_vertices();
-        let gather_phase = superstep.is_multiple_of(2);
-        let mut updates = 0usize;
-
-        if gather_phase {
-            // Mirrors first adopt the rank broadcast by the master at the end
-            // of the previous iteration.
-            for local in 0..n {
-                if let Some(&rank) = ctx.messages(local).last() {
-                    let mut value = *ctx.value(local);
-                    value.rank = rank;
-                    ctx.set_value(local, value);
-                }
-            }
-            // Accumulate local contributions along every *owned* local edge
-            // (edge-cut distributions replicate crossing edges; only the
-            // source owner's copy contributes so each edge counts once).
-            let mut partials = vec![0.0f64; n];
-            for edge_index in 0..ctx.subgraph().num_edges() {
-                if !ctx.subgraph().owns_edge(edge_index) {
-                    continue;
-                }
-                let edge = ctx.subgraph().edges()[edge_index];
-                let out_degree = self.out_degrees[edge.src.index()];
-                if out_degree == 0 {
-                    continue;
-                }
-                let (Some(src_local), Some(dst_local)) = (
-                    ctx.subgraph().local_index_of(edge.src),
-                    ctx.subgraph().local_index_of(edge.dst),
-                ) else {
-                    continue;
-                };
-                ctx.add_work(1);
-                let contribution = ctx.value(src_local).rank / out_degree as f64;
-                partials[dst_local] += contribution;
-            }
-            for (local, partial) in partials.into_iter().enumerate() {
-                let mut value = *ctx.value(local);
-                value.partial = partial;
-                ctx.set_value(local, value);
-                updates += 1;
-                // Mirrors ship their partial to the master replica.
-                if !ctx.subgraph().is_master(local) {
-                    ctx.send_to_master(local, partial);
-                }
-            }
-        } else {
-            // Apply phase: masters fold incoming partials and broadcast the
-            // new rank to their mirrors.
-            for local in 0..n {
-                if !ctx.subgraph().is_master(local) {
-                    continue;
-                }
-                let incoming: f64 = ctx.messages(local).iter().sum();
-                let mut value = *ctx.value(local);
-                let total = value.partial + incoming;
-                value.rank = (1.0 - self.damping) / self.num_vertices as f64 + self.damping * total;
-                value.partial = 0.0;
-                ctx.set_value(local, value);
-                ctx.add_work(1);
-                updates += 1;
-                let rank = value.rank;
-                ctx.send_to_mirrors(local, rank);
-            }
-        }
-        updates
+        pagerank_superstep(
+            self.damping,
+            self.num_vertices,
+            &self.out_degrees,
+            ctx,
+            superstep,
+            false,
+        )
     }
 
     fn max_supersteps(&self) -> usize {
@@ -176,6 +117,104 @@ impl SubgraphProgram for PageRank {
     fn halt_on_quiescence(&self) -> bool {
         false
     }
+}
+
+/// One gather/scatter superstep of the master/mirror PageRank protocol,
+/// shared by [`PageRank`] and the warm-start variant
+/// [`crate::IncrementalPageRank`].
+///
+/// With `gate_stable_messages` set, two bit-exact message eliminations are
+/// applied: a mirror whose partial sum is exactly `0.0` skips the gather
+/// message (the master's fold sums incoming partials, so dropping exact
+/// zeros cannot change it), and a master whose new rank is bit-identical to
+/// its previous rank skips the scatter broadcast (mirrors already hold that
+/// rank). Both gates leave every rank bit-identical to the ungated run;
+/// they only reduce traffic in converged regions, which is where a
+/// warm-started execution spends most of its supersteps. The cold
+/// [`PageRank`] keeps them off so its message counts remain the paper's
+/// `2 · (Σ_i |V_i| − |V|)` per iteration.
+pub(crate) fn pagerank_superstep(
+    damping: f64,
+    num_vertices: usize,
+    out_degrees: &[u64],
+    ctx: &mut SubgraphContext<'_, PageRankValue, f64>,
+    superstep: usize,
+    gate_stable_messages: bool,
+) -> usize {
+    let n = ctx.subgraph().num_vertices();
+    let gather_phase = superstep.is_multiple_of(2);
+    let mut updates = 0usize;
+
+    if gather_phase {
+        // Mirrors first adopt the rank broadcast by the master at the end
+        // of the previous iteration.
+        for local in 0..n {
+            if let Some(&rank) = ctx.messages(local).last() {
+                let mut value = *ctx.value(local);
+                value.rank = rank;
+                ctx.set_value(local, value);
+            }
+        }
+        // Accumulate local contributions along every *owned* local edge
+        // (edge-cut distributions replicate crossing edges; only the
+        // source owner's copy contributes so each edge counts once).
+        let mut partials = vec![0.0f64; n];
+        for edge_index in 0..ctx.subgraph().num_edges() {
+            if !ctx.subgraph().owns_edge(edge_index) {
+                continue;
+            }
+            let edge = ctx.subgraph().edges()[edge_index];
+            let out_degree = out_degrees[edge.src.index()];
+            if out_degree == 0 {
+                continue;
+            }
+            let (Some(src_local), Some(dst_local)) = (
+                ctx.subgraph().local_index_of(edge.src),
+                ctx.subgraph().local_index_of(edge.dst),
+            ) else {
+                continue;
+            };
+            ctx.add_work(1);
+            let contribution = ctx.value(src_local).rank / out_degree as f64;
+            partials[dst_local] += contribution;
+        }
+        for (local, partial) in partials.into_iter().enumerate() {
+            let mut value = *ctx.value(local);
+            value.partial = partial;
+            ctx.set_value(local, value);
+            updates += 1;
+            // Mirrors ship their partial to the master replica (a gated
+            // mirror with an exactly-zero partial stays silent).
+            if !ctx.subgraph().is_master(local) {
+                let gated = gate_stable_messages && partial == 0.0;
+                if !gated {
+                    ctx.send_to_master(local, partial);
+                }
+            }
+        }
+    } else {
+        // Apply phase: masters fold incoming partials and broadcast the
+        // new rank to their mirrors.
+        for local in 0..n {
+            if !ctx.subgraph().is_master(local) {
+                continue;
+            }
+            let incoming: f64 = ctx.messages(local).iter().sum();
+            let mut value = *ctx.value(local);
+            let previous_rank = value.rank;
+            let total = value.partial + incoming;
+            value.rank = (1.0 - damping) / num_vertices as f64 + damping * total;
+            value.partial = 0.0;
+            ctx.set_value(local, value);
+            ctx.add_work(1);
+            updates += 1;
+            let rank = value.rank;
+            if !(gate_stable_messages && rank.to_bits() == previous_rank.to_bits()) {
+                ctx.send_to_mirrors(local, rank);
+            }
+        }
+    }
+    updates
 }
 
 /// Extracts the plain rank vector from a PageRank outcome.

@@ -1,6 +1,8 @@
 //! Machine-readable throughput benchmark for the partitioning paths:
-//! batch, streaming, dynamic maintenance (insert/delete churn) and one
-//! rebalance epoch, written as `BENCH_dynamic.json` for trend tracking.
+//! batch, streaming, dynamic maintenance (insert/delete churn), the
+//! incremental-vs-full mutation-epoch comparison, warm-vs-cold BSP
+//! re-execution and one rebalance epoch, written as `BENCH_dynamic.json`
+//! for trend tracking.
 //!
 //! Run with:
 //!
@@ -11,12 +13,15 @@
 //! Environment:
 //!
 //! * `EBV_BENCH_OUT` — output path (default `BENCH_dynamic.json`);
-//! * `EBV_SCALE=full` — the larger workload size.
+//! * `EBV_SCALE=full` — the larger workload size;
+//! * `EBV_SCALE=smoke` — a CI-sized workload (seconds, not minutes).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use ebv_algorithms::{ConnectedComponents, IncrementalConnectedComponents};
 use ebv_bench::TextTable;
+use ebv_bsp::{BspEngine, DistributedGraph, MutationBatch};
 use ebv_dynamic::{ChurnStream, EventPipeline};
 use ebv_graph::GraphBuilder;
 use ebv_partition::{
@@ -72,8 +77,11 @@ fn emit_json(workload: &str, edges: usize, workers: usize, rows: &[Measurement])
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let full = std::env::var("EBV_SCALE").is_ok_and(|v| v == "full");
-    let (scale, num_edges) = if full { (20, 4_000_000) } else { (16, 500_000) };
+    let (scale, num_edges) = match std::env::var("EBV_SCALE").as_deref() {
+        Ok("full") => (20, 4_000_000),
+        Ok("smoke") => (13, 60_000),
+        _ => (16, 500_000),
+    };
     let workers = 8;
     let churn_ratio = 0.25;
     let stream = || RmatEdgeStream::new(scale, num_edges).with_seed(42);
@@ -165,6 +173,163 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 state_bytes: partitioner.state_bytes(),
             });
         }
+    }
+
+    // Incremental vs full-reassembly mutation epochs, plus warm vs cold CC
+    // re-execution, over the same churned batch sequence.
+    {
+        let source = stream();
+        let mut partitioner = EbvPartitioner::new().dynamic(source.stream_config(workers))?;
+        let churn = ChurnStream::new(source, churn_ratio)?.with_seed(7);
+        let epoch_batch = (num_edges / 64).max(1 << 10);
+        let mut batches: Vec<MutationBatch> = Vec::new();
+        EventPipeline::new(epoch_batch).run(churn, &mut partitioner, |batch, _| {
+            batches.push(batch.clone());
+            Ok(())
+        })?;
+
+        let universe = Some(partitioner.num_vertices());
+        let mut incremental = DistributedGraph::build_streaming(workers, universe, Vec::new())?;
+        let mut incremental_seconds = 0.0f64;
+        let mut full_seconds = 0.0f64;
+        let mut touched_total = 0usize;
+        for batch in &batches {
+            let started = Instant::now();
+            let stats = incremental.apply_mutations(batch)?;
+            incremental_seconds += started.elapsed().as_secs_f64();
+            touched_total += stats.workers_touched;
+
+            // The pre-incremental behaviour: re-assemble every worker from
+            // scratch over the post-batch survivors.
+            let started = Instant::now();
+            let full = DistributedGraph::build_streaming(
+                workers,
+                Some(incremental.num_vertices()),
+                incremental
+                    .subgraphs()
+                    .iter()
+                    .flat_map(|sg| sg.edges().iter().map(move |&edge| (edge, sg.part()))),
+            )?;
+            full_seconds += started.elapsed().as_secs_f64();
+            assert_eq!(full.num_edges(), incremental.num_edges());
+        }
+        rows.push(Measurement {
+            name: "epoch_apply_incremental",
+            items: "epochs",
+            count: batches.len(),
+            seconds: incremental_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "epoch_apply_full_reassembly",
+            items: "epochs",
+            count: batches.len(),
+            seconds: full_seconds,
+            state_bytes: 0,
+        });
+        // Scattered batches touch nearly every worker, so the margin here
+        // is structural-overhead only (~10-15%); allow timing noise on
+        // shared CI runners while still catching a real regression where
+        // the incremental path becomes decisively slower.
+        assert!(
+            incremental_seconds < full_seconds * 1.25,
+            "incremental epochs regressed against full reassembly: \
+             {incremental_seconds:.4}s vs {full_seconds:.4}s"
+        );
+        println!(
+            "incremental epochs {:.2}x the speed of full reassembly on scattered batches \
+             (avg workers touched {:.1}/{workers})",
+            full_seconds / incremental_seconds,
+            touched_total as f64 / batches.len().max(1) as f64,
+        );
+
+        // Localized epochs (the hot-shard pattern): batches confined to one
+        // worker, where incremental assembly rebuilds 1 of p workers while
+        // full reassembly still pays for the entire distribution.
+        let mut localized_incremental = 0.0f64;
+        let mut localized_full = 0.0f64;
+        let mut localized_epochs = 0usize;
+        for round in 0..workers {
+            let target = ebv_partition::PartitionId::from_index(round % workers);
+            let batch = ebv_dynamic::confined_deletion_batch(&mut partitioner, target, 1 << 11)?;
+            if batch.is_empty() {
+                continue;
+            }
+            localized_epochs += 1;
+            let started = Instant::now();
+            let stats = incremental.apply_mutations(&batch)?;
+            localized_incremental += started.elapsed().as_secs_f64();
+            assert_eq!(stats.workers_touched, 1, "localized batch stays local");
+            let started = Instant::now();
+            let full = DistributedGraph::build_streaming(
+                workers,
+                Some(incremental.num_vertices()),
+                incremental
+                    .subgraphs()
+                    .iter()
+                    .flat_map(|sg| sg.edges().iter().map(move |&edge| (edge, sg.part()))),
+            )?;
+            localized_full += started.elapsed().as_secs_f64();
+            assert_eq!(full.num_edges(), incremental.num_edges());
+        }
+        rows.push(Measurement {
+            name: "epoch_localized_incremental",
+            items: "epochs",
+            count: localized_epochs,
+            seconds: localized_incremental,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "epoch_localized_full_reassembly",
+            items: "epochs",
+            count: localized_epochs,
+            seconds: localized_full,
+            state_bytes: 0,
+        });
+        assert!(localized_incremental < localized_full);
+        println!(
+            "localized epochs (1/{workers} workers touched): incremental {:.1}x faster \
+             than full reassembly",
+            localized_full / localized_incremental,
+        );
+
+        // Warm vs cold CC across one more churned mutation epoch.
+        let engine = BspEngine::threaded();
+        let started = Instant::now();
+        let cold = engine.run(&incremental, &ConnectedComponents::new())?;
+        let cc_cold_seconds = started.elapsed().as_secs_f64();
+        let prior = cold.values;
+
+        let extra = ChurnStream::new(
+            RmatEdgeStream::new(scale, 1 << 13).with_seed(43),
+            churn_ratio,
+        )?
+        .with_seed(11);
+        let mut warm_program = IncrementalConnectedComponents::new();
+        EventPipeline::new(1 << 20).run(extra, &mut partitioner, |batch, _| {
+            warm_program.absorb(&prior, batch);
+            incremental.apply_mutations(batch)?;
+            Ok(())
+        })?;
+        let started = Instant::now();
+        let warm = engine.run_warm(&incremental, &warm_program, &prior)?;
+        let cc_warm_seconds = started.elapsed().as_secs_f64();
+        let verify = engine.run(&incremental, &ConnectedComponents::new())?;
+        assert_eq!(warm.values, verify.values, "warm CC must be bit-identical");
+        rows.push(Measurement {
+            name: "cc_cold",
+            items: "labels",
+            count: incremental.num_vertices(),
+            seconds: cc_cold_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "cc_warm_epoch",
+            items: "labels",
+            count: incremental.num_vertices(),
+            seconds: cc_warm_seconds,
+            state_bytes: 0,
+        });
     }
 
     let mut table = TextTable::new("Dynamic-subsystem throughput");

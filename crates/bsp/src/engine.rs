@@ -95,6 +95,40 @@ impl BspEngine {
         distributed: &DistributedGraph,
         program: &P,
     ) -> Result<BspOutcome<P::Value>> {
+        self.execute(distributed, program, None)
+    }
+
+    /// Executes `program` warm-started from `prior` — the global per-vertex
+    /// values of a previous epoch's [`BspOutcome`] — instead of from
+    /// [`SubgraphProgram::initial_value`].
+    ///
+    /// Every replica of vertex `v` with `v < prior.len()` is seeded with
+    /// [`SubgraphProgram::warm_value`]`(v, &prior[v], subgraph)`; vertices
+    /// beyond `prior` (the universe may have grown across mutation epochs)
+    /// fall back to `initial_value`. Combined with an incremental program
+    /// (e.g. `ebv_algorithms::IncrementalConnectedComponents`) this re-runs
+    /// a fixpoint from the previous epoch's answer, activating only the
+    /// region the mutations disturbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::DidNotConverge`] when a quiescence-halting program
+    /// exhausts [`SubgraphProgram::max_supersteps`].
+    pub fn run_warm<P: SubgraphProgram>(
+        &self,
+        distributed: &DistributedGraph,
+        program: &P,
+        prior: &[P::Value],
+    ) -> Result<BspOutcome<P::Value>> {
+        self.execute(distributed, program, Some(prior))
+    }
+
+    fn execute<P: SubgraphProgram>(
+        &self,
+        distributed: &DistributedGraph,
+        program: &P,
+        prior: Option<&[P::Value]>,
+    ) -> Result<BspOutcome<P::Value>> {
         let num_workers = distributed.num_workers();
         if num_workers == 0 {
             return Err(BspError::InvalidParameter {
@@ -103,16 +137,22 @@ impl BspEngine {
             });
         }
 
+        // Cold runs seed from `initial_value`, warm runs from `warm_value`
+        // over the previous epoch's outcome.
+        let seed = |v: ebv_graph::VertexId, sg: &crate::subgraph::Subgraph| -> P::Value {
+            match prior {
+                Some(prior) if v.index() < prior.len() => {
+                    program.warm_value(v, &prior[v.index()], sg)
+                }
+                _ => program.initial_value(v, sg),
+            }
+        };
+
         // Per-worker local state.
         let mut values: Vec<Vec<P::Value>> = distributed
             .subgraphs()
             .iter()
-            .map(|sg| {
-                sg.vertices()
-                    .iter()
-                    .map(|&v| program.initial_value(v, sg))
-                    .collect()
-            })
+            .map(|sg| sg.vertices().iter().map(|&v| seed(v, sg)).collect())
             .collect();
         let mut inboxes: Vec<Vec<Vec<P::Message>>> = distributed
             .subgraphs()
@@ -120,9 +160,12 @@ impl BspEngine {
             .map(|sg| vec![Vec::new(); sg.num_vertices()])
             .collect();
 
+        let mutation = distributed.last_mutation();
         let mut stats = ExecutionStats {
             num_workers,
             epoch: distributed.epoch(),
+            workers_touched: mutation.workers_touched,
+            edges_rebuilt: mutation.edges_rebuilt,
             supersteps: Vec::new(),
         };
 
@@ -235,9 +278,9 @@ impl BspEngine {
                 let sg = distributed.subgraph(master);
                 match sg.local_index_of(v) {
                     Some(local) => values[master.index()][local].clone(),
-                    // Isolated vertices never appear in a subgraph; report
-                    // their initial value.
-                    None => program.initial_value(v, sg),
+                    // Vertices absent from every subgraph report their seed
+                    // value (initial for cold runs, warm for warm runs).
+                    None => seed(v, sg),
                 }
             })
             .collect();

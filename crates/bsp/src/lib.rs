@@ -37,14 +37,14 @@ pub use stats::{
     Breakdown, CostModel, ExecutionStats, SuperstepStats, TimelineSpan, WorkerSuperstepStats,
 };
 pub use subgraph::{
-    DistributedGraph, DistributedGraphBuilder, MutationBatch, ReplicaTable, Subgraph,
+    DistributedGraph, DistributedGraphBuilder, MutationBatch, MutationStats, ReplicaTable, Subgraph,
 };
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
         Breakdown, BspEngine, BspOutcome, CostModel, DistributedGraph, DistributedGraphBuilder,
-        ExecutionStats, MutationBatch, Subgraph, SubgraphContext, SubgraphProgram,
+        ExecutionStats, MutationBatch, MutationStats, Subgraph, SubgraphContext, SubgraphProgram,
     };
 }
 

@@ -142,6 +142,24 @@ pub trait SubgraphProgram: Sync {
     /// The initial value of `vertex` (called once per local replica).
     fn initial_value(&self, vertex: VertexId, subgraph: &Subgraph) -> Self::Value;
 
+    /// The value a replica of `vertex` starts from when the engine is
+    /// warm-started from a previous epoch's outcome (see
+    /// `BspEngine::run_warm`): `prior` is the vertex's value in that
+    /// outcome. The default carries the prior value over unchanged;
+    /// incremental programs override this to reset state invalidated by
+    /// the mutations (e.g. component labels of split components). Called
+    /// once per local replica, with the same `prior` for every replica, so
+    /// all replicas of a vertex start in agreement.
+    fn warm_value(
+        &self,
+        vertex: VertexId,
+        prior: &Self::Value,
+        subgraph: &Subgraph,
+    ) -> Self::Value {
+        let _ = (vertex, subgraph);
+        prior.clone()
+    }
+
     /// Runs the sequential algorithm over one subgraph for one superstep and
     /// returns the number of local vertex updates it performed.
     fn run_superstep(

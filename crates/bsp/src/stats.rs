@@ -52,9 +52,16 @@ pub struct ExecutionStats {
     /// Number of workers.
     pub num_workers: usize,
     /// Mutation epoch of the distributed graph the program ran on: 0 for a
-    /// fresh build, incremented per absorbed mutation batch (see
+    /// fresh build, incremented per absorbed non-empty mutation batch (see
     /// `DistributedGraph::apply_mutations`).
     pub epoch: usize,
+    /// Workers re-assembled by the mutation epoch that produced the
+    /// distribution this program ran on (0 for fresh builds) — the
+    /// incremental-assembly locality counter of
+    /// `DistributedGraph::last_mutation`.
+    pub workers_touched: usize,
+    /// Local edges re-indexed by that mutation epoch (0 for fresh builds).
+    pub edges_rebuilt: usize,
     /// Per-superstep counters.
     pub supersteps: Vec<SuperstepStats>,
 }
@@ -220,6 +227,8 @@ mod tests {
         ExecutionStats {
             num_workers: 2,
             epoch: 0,
+            workers_touched: 0,
+            edges_rebuilt: 0,
             supersteps: vec![
                 SuperstepStats {
                     per_worker: vec![

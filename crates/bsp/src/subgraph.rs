@@ -3,11 +3,41 @@
 //! engine executes on.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use serde::{Deserialize, Serialize};
 
 use ebv_graph::{Edge, Graph, VertexId};
 use ebv_partition::{PartitionId, PartitionResult};
 
 use crate::error::{BspError, Result};
+
+/// Cheap multiply-xor hasher for the vertex/edge-keyed maps on the
+/// assembly hot paths (`Subgraph::build`'s local index, the removal
+/// matching of `apply_mutations`). The keys are 64-bit vertex ids, so a
+/// strong-mixing multiply beats SipHash by a wide margin while staying
+/// deterministic; it is never exposed in iteration-order-sensitive code.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0 ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
 
 /// The local graph held by one worker.
 ///
@@ -27,7 +57,7 @@ pub struct Subgraph {
     /// each edge exactly once.
     owns_edge: Vec<bool>,
     vertices: Vec<VertexId>,
-    local_index: HashMap<VertexId, usize>,
+    local_index: IdHashMap<VertexId, usize>,
     is_master: Vec<bool>,
     /// Local adjacency: out-neighbours by local index.
     out_neighbors: Vec<Vec<usize>>,
@@ -44,7 +74,7 @@ impl Subgraph {
         masters: &[PartitionId],
     ) -> Self {
         let mut vertices: Vec<VertexId> = Vec::new();
-        let mut local_index: HashMap<VertexId, usize> = HashMap::new();
+        let mut local_index: IdHashMap<VertexId, usize> = IdHashMap::default();
         for e in &edges {
             for v in [e.src, e.dst] {
                 local_index.entry(v).or_insert_with(|| {
@@ -244,6 +274,26 @@ impl MutationBatch {
     }
 }
 
+/// Assembly-cost counters of one [`DistributedGraph::apply_mutations`]
+/// epoch: how much of the distribution actually had to be rebuilt.
+///
+/// An incremental epoch re-assembles only the workers the batch touches
+/// (plus any worker whose isolated-vertex list changed); everything else is
+/// kept as-is. `workers_touched == 0` therefore identifies a no-op epoch
+/// and `workers_touched < p` quantifies the locality win over the
+/// full-reassembly path that rebuilds every worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationStats {
+    /// Workers whose subgraph was re-built this epoch.
+    pub workers_touched: usize,
+    /// Total local edges of the re-built workers (the re-indexing cost).
+    pub edges_rebuilt: usize,
+    /// Edge copies the batch added.
+    pub edges_added: usize,
+    /// Edge copies the batch removed.
+    pub edges_removed: usize,
+}
+
 /// A graph distributed over `p` workers: the per-worker subgraphs plus the
 /// replica table used for routing messages.
 #[derive(Debug, Clone)]
@@ -254,6 +304,23 @@ pub struct DistributedGraph {
     num_edges: usize,
     /// Number of mutation epochs absorbed since the initial build.
     epoch: usize,
+    /// Cached vertex-cut invariant: `true` iff every local edge is owned.
+    /// Computed once at assembly so [`apply_mutations`](Self::apply_mutations)
+    /// never has to re-scan the per-worker `owns_edge` vectors.
+    vertex_cut: bool,
+    /// Per-vertex live-incidence counts per holding partition, kept sorted
+    /// by partition — the master-election state of [`assemble`], kept
+    /// resident and delta-updated so a mutation epoch re-elects only the
+    /// vertices it actually touches. A sorted inline list beats a hash map
+    /// here: almost every vertex has one or two holders, lookups are a
+    /// short binary search, and the resident/clone cost is a fraction of a
+    /// `HashMap` per vertex.
+    incident_count: Vec<Vec<(PartitionId, u32)>>,
+    /// Per-partition isolated vertices, in increasing id order (the order
+    /// [`assemble`] feeds them to [`Subgraph::build`]).
+    isolated_per_part: Vec<Vec<VertexId>>,
+    /// Counters of the most recent mutation epoch (zeroed on fresh builds).
+    last_mutation: MutationStats,
 }
 
 impl DistributedGraph {
@@ -395,22 +462,44 @@ impl DistributedGraph {
     }
 
     /// Number of mutation epochs this distribution has absorbed: 0 for a
-    /// fresh build, incremented by every [`apply_mutations`](Self::apply_mutations).
+    /// fresh build, incremented by every non-empty
+    /// [`apply_mutations`](Self::apply_mutations) batch.
     pub fn epoch(&self) -> usize {
         self.epoch
     }
 
-    /// Absorbs one batch of edge mutations and returns the updated
-    /// distribution, with [`epoch`](Self::epoch) incremented.
+    /// Whether every local edge is owned (the vertex-cut invariant). Only
+    /// such distributions support [`apply_mutations`](Self::apply_mutations).
+    pub fn is_vertex_cut(&self) -> bool {
+        self.vertex_cut
+    }
+
+    /// Counters of the most recent mutation epoch: how many workers were
+    /// re-assembled and how many local edges that re-indexing covered.
+    /// Zeroed for fresh builds and after an empty (no-op) batch.
+    pub fn last_mutation(&self) -> MutationStats {
+        self.last_mutation
+    }
+
+    /// Absorbs one batch of edge mutations in place, incrementally:
+    /// only the workers the batch references (plus any worker whose
+    /// isolated-vertex placement changed) are re-assembled, and master
+    /// election re-runs only for the vertices incident to mutated edges.
+    /// Untouched workers are kept as-is. Returns the [`MutationStats`] of
+    /// the epoch.
     ///
     /// Removals delete the *most recent* matching copy from the named
     /// worker's edge list (matching the LIFO multiset semantics of
     /// `ebv_partition::DynamicPartitioner::delete`) while preserving the
     /// relative order of the surviving edges; additions append in record
-    /// order. Master election and replica bookkeeping then re-run through
-    /// the same assembly step as the batch build, so for batches without
-    /// migrations the result is structurally identical to rebuilding from
-    /// scratch over the surviving `(edge, partition)` stream.
+    /// order. The incremental result is structurally identical to
+    /// rebuilding from scratch over the surviving `(edge, partition)`
+    /// stream.
+    ///
+    /// An **empty batch** (including one whose inserts and deletes fully
+    /// cancelled in-batch) is a cheap no-op: nothing is cloned or rebuilt
+    /// and [`epoch`](Self::epoch) does **not** advance — epochs count
+    /// absorbed mutations, not calls.
     ///
     /// Only vertex-cut style distributions (every local edge owned) can be
     /// mutated this way; edge-cut distributions replicate crossing edges
@@ -419,30 +508,25 @@ impl DistributedGraph {
     /// # Errors
     ///
     /// Returns [`BspError::InvalidMutation`] when a removal references an
-    /// edge copy the named worker does not hold or the distribution is not
-    /// vertex-cut, and [`BspError::PartitionMismatch`] when a mutation
-    /// names a partition out of range.
-    pub fn apply_mutations(&self, batch: &MutationBatch) -> Result<Self> {
-        let p = self.num_workers();
-        if self
-            .subgraphs
-            .iter()
-            .any(|sg| sg.owns_edge.iter().any(|&owned| !owned))
-        {
+    /// edge copy the named worker does not hold (reporting the smallest
+    /// such edge of the lowest-numbered failing partition, so the message
+    /// is deterministic) or the distribution is not vertex-cut, and
+    /// [`BspError::PartitionMismatch`] when a mutation names a partition
+    /// out of range. On error the distribution is left unchanged.
+    pub fn apply_mutations(&mut self, batch: &MutationBatch) -> Result<MutationStats> {
+        if batch.is_empty() {
+            self.last_mutation = MutationStats::default();
+            return Ok(self.last_mutation);
+        }
+        if !self.vertex_cut {
             return Err(BspError::InvalidMutation {
                 message: "only vertex-cut distributions (every local edge owned) support \
                           edge-level mutations"
                     .to_string(),
             });
         }
-
-        let mut edges_per_part: Vec<Vec<Edge>> =
-            self.subgraphs.iter().map(|sg| sg.edges.clone()).collect();
-
-        // Group removals per partition, then strip the last occurrences in
-        // one reverse sweep per partition so survivor order is preserved.
-        let mut to_remove: Vec<HashMap<Edge, usize>> = vec![HashMap::new(); p];
-        for &(edge, part) in batch.removed() {
+        let p = self.num_workers();
+        for &(_, part) in batch.removed().iter().chain(batch.added()) {
             if part.index() >= p {
                 return Err(BspError::PartitionMismatch {
                     message: format!(
@@ -450,13 +534,22 @@ impl DistributedGraph {
                     ),
                 });
             }
+        }
+
+        // Group removals per partition, then resolve the last occurrences in
+        // one reverse sweep per partition so survivor order is preserved.
+        // All removals are validated here, before any state is mutated, so a
+        // rejected batch leaves the distribution intact.
+        let mut to_remove: Vec<IdHashMap<Edge, usize>> = vec![IdHashMap::default(); p];
+        for &(edge, part) in batch.removed() {
             *to_remove[part.index()].entry(edge).or_insert(0) += 1;
         }
+        let mut keep_masks: Vec<Option<Vec<bool>>> = vec![None; p];
         for (i, pending) in to_remove.iter_mut().enumerate() {
             if pending.is_empty() {
                 continue;
             }
-            let edges = &mut edges_per_part[i];
+            let edges = &self.subgraphs[i].edges;
             let mut keep = vec![true; edges.len()];
             for index in (0..edges.len()).rev() {
                 if let Some(count) = pending.get_mut(&edges[index]) {
@@ -466,43 +559,180 @@ impl DistributedGraph {
                     }
                 }
             }
-            if let Some((&edge, _)) = pending.iter().find(|&(_, &count)| count > 0) {
+            // Deterministic error: the smallest unmatched edge (partitions
+            // are scanned in ascending order).
+            if let Some(&edge) = pending
+                .iter()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(edge, _)| edge)
+                .min()
+            {
                 return Err(BspError::InvalidMutation {
                     message: format!("partition {i} holds no copy of edge {edge} to remove"),
                 });
             }
-            let mut it = keep.iter();
-            edges.retain(|_| *it.next().expect("keep mask covers every edge"));
+            keep_masks[i] = Some(keep);
         }
 
-        let mut n = self.num_vertices;
-        for &(edge, part) in batch.added() {
-            if part.index() >= p {
-                return Err(BspError::PartitionMismatch {
-                    message: format!(
-                        "mutation references partition {part} but only {p} partitions exist"
-                    ),
-                });
-            }
+        // The workers whose edge lists change.
+        let mut touched = vec![false; p];
+        for &(_, part) in batch.removed().iter().chain(batch.added()) {
+            touched[part.index()] = true;
+        }
+
+        // Grow the vertex universe for additions past the current maximum.
+        let old_n = self.num_vertices;
+        let mut n = old_n;
+        for &(edge, _) in batch.added() {
             n = n.max(edge.src.index().max(edge.dst.index()) + 1);
-            edges_per_part[part.index()].push(edge);
+        }
+        if n > old_n {
+            self.incident_count.resize_with(n, Vec::new);
+            self.replicas.master.resize(n, PartitionId::default());
+            self.replicas.replicas.resize_with(n, Vec::new);
         }
 
-        let num_edges = edges_per_part.iter().map(|edges| edges.len()).sum();
-        let owned_per_part = edges_per_part
-            .iter()
-            .map(|edges| vec![true; edges.len()])
-            .collect();
-        let mut updated = assemble(
-            p,
-            n,
-            num_edges,
-            edges_per_part,
-            owned_per_part,
-            MasterRule::IncidentMajority,
-        );
-        updated.epoch = self.epoch + 1;
-        Ok(updated)
+        // Delta-update the per-vertex incidence counts; only the endpoints
+        // of mutated edges (plus any newly created vertices) can change
+        // masters, replica sets or isolated status.
+        let mut affected: Vec<usize> = Vec::with_capacity(2 * batch.len() + (n - old_n));
+        for &(edge, part) in batch.removed() {
+            for v in [edge.src, edge.dst] {
+                let counts = &mut self.incident_count[v.index()];
+                let slot = counts
+                    .binary_search_by_key(&part, |&(holder, _)| holder)
+                    .expect("validated removal implies live incidence");
+                counts[slot].1 -= 1;
+                if counts[slot].1 == 0 {
+                    counts.remove(slot);
+                }
+                affected.push(v.index());
+            }
+        }
+        for &(edge, part) in batch.added() {
+            for v in [edge.src, edge.dst] {
+                bump_incidence(&mut self.incident_count[v.index()], part);
+                affected.push(v.index());
+            }
+        }
+        affected.extend(old_n..n);
+        affected.sort_unstable();
+        affected.dedup();
+
+        // New edge lists for the batch-touched workers: survivors in
+        // original order, then additions in record order — the same stream a
+        // fresh streamed build of the survivors would consume.
+        let mut new_edges: Vec<Option<Vec<Edge>>> = vec![None; p];
+        for i in 0..p {
+            if !touched[i] {
+                continue;
+            }
+            let mut edges = std::mem::take(&mut self.subgraphs[i].edges);
+            if let Some(keep) = keep_masks[i].take() {
+                let mut it = keep.iter();
+                edges.retain(|_| *it.next().expect("keep mask covers every edge"));
+            }
+            new_edges[i] = Some(edges);
+        }
+        for &(edge, part) in batch.added() {
+            new_edges[part.index()]
+                .as_mut()
+                .expect("addition partitions are touched")
+                .push(edge);
+        }
+
+        // Re-elect masters and replica lists for the affected vertices,
+        // maintaining the round-robin isolated placement of `assemble`. A
+        // worker whose isolated list changes must be re-assembled even when
+        // its edges did not. The holder lists are already sorted by
+        // partition, exactly the replica order `assemble` produces.
+        for &vi in &affected {
+            let v = VertexId::from(vi);
+            let home = vi % p;
+            let was_isolated = vi < old_n && self.isolated_per_part[home].binary_search(&v).is_ok();
+            let holders = &self.incident_count[vi];
+            if holders.is_empty() {
+                let home_part = PartitionId::from_index(home);
+                self.replicas.master[vi] = home_part;
+                self.replicas.replicas[vi].clear();
+                self.replicas.replicas[vi].push(home_part);
+                if !was_isolated {
+                    let list = &mut self.isolated_per_part[home];
+                    if let Err(pos) = list.binary_search(&v) {
+                        list.insert(pos, v);
+                    }
+                    touched[home] = true;
+                }
+            } else {
+                self.replicas.master[vi] = holders
+                    .iter()
+                    .max_by_key(|&&(part, count)| (count, std::cmp::Reverse(part)))
+                    .map(|&(part, _)| part)
+                    .expect("non-empty holders");
+                self.replicas.replicas[vi].clear();
+                self.replicas.replicas[vi].extend(holders.iter().map(|&(part, _)| part));
+                if was_isolated {
+                    let list = &mut self.isolated_per_part[home];
+                    if let Ok(pos) = list.binary_search(&v) {
+                        list.remove(pos);
+                    }
+                    touched[home] = true;
+                }
+            }
+        }
+
+        // Patch the master flag of affected vertices inside workers that are
+        // *not* being re-assembled (a worker can keep its edges yet lose or
+        // gain the master replica of a boundary vertex). Workers that stop
+        // or start holding a vertex always had their edge list touched, so
+        // only flag patches are ever needed here.
+        for &vi in &affected {
+            let v = VertexId::from(vi);
+            let master = self.replicas.master[vi];
+            for &holder in &self.replicas.replicas[vi] {
+                if touched[holder.index()] {
+                    continue;
+                }
+                let sg = &mut self.subgraphs[holder.index()];
+                let local = sg.local_index[&v];
+                sg.is_master[local] = holder == master;
+            }
+        }
+
+        // Re-assemble exactly the touched workers.
+        let mut workers_touched = 0usize;
+        let mut edges_rebuilt = 0usize;
+        for i in 0..p {
+            if !touched[i] {
+                continue;
+            }
+            workers_touched += 1;
+            let edges = match new_edges[i].take() {
+                Some(edges) => edges,
+                // Touched only through an isolated-placement change.
+                None => std::mem::take(&mut self.subgraphs[i].edges),
+            };
+            edges_rebuilt += edges.len();
+            let owned = vec![true; edges.len()];
+            self.subgraphs[i] = Subgraph::build(
+                PartitionId::from_index(i),
+                edges,
+                owned,
+                &self.isolated_per_part[i],
+                &self.replicas.master,
+            );
+        }
+
+        self.num_vertices = n;
+        self.num_edges = self.subgraphs.iter().map(|sg| sg.edges.len()).sum();
+        self.epoch += 1;
+        self.last_mutation = MutationStats {
+            workers_touched,
+            edges_rebuilt,
+            edges_added: batch.added().len(),
+            edges_removed: batch.removed().len(),
+        };
+        Ok(self.last_mutation)
     }
 }
 
@@ -528,21 +758,20 @@ fn assemble(
     owned_per_part: Vec<Vec<bool>>,
     master_rule: MasterRule<'_>,
 ) -> DistributedGraph {
-    let mut incident_count: Vec<HashMap<PartitionId, usize>> = vec![HashMap::new(); n];
+    let mut incident_count: Vec<Vec<(PartitionId, u32)>> = vec![Vec::new(); n];
     for (i, edges) in edges_per_part.iter().enumerate() {
         let part = PartitionId::from_index(i);
         for e in edges {
-            *incident_count[e.src.index()].entry(part).or_insert(0) += 1;
-            *incident_count[e.dst.index()].entry(part).or_insert(0) += 1;
+            bump_incidence(&mut incident_count[e.src.index()], part);
+            bump_incidence(&mut incident_count[e.dst.index()], part);
         }
     }
     let mut master = vec![PartitionId::default(); n];
     let mut replicas: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
     let mut isolated_per_part: Vec<Vec<VertexId>> = vec![Vec::new(); p];
     for v in 0..n {
-        let mut holders: Vec<(PartitionId, usize)> =
-            incident_count[v].iter().map(|(&p, &c)| (p, c)).collect();
-        holders.sort_by_key(|&(p, _)| p);
+        // Holder lists are kept sorted by partition — the replica order.
+        let holders = &incident_count[v];
         replicas[v] = holders.iter().map(|&(p, _)| p).collect();
         master[v] = match master_rule {
             MasterRule::Owner(ec) => ec.part_of(VertexId::from(v)),
@@ -563,6 +792,9 @@ fn assemble(
         }
     }
 
+    let vertex_cut = owned_per_part
+        .iter()
+        .all(|owned| owned.iter().all(|&flag| flag));
     let subgraphs = edges_per_part
         .into_iter()
         .zip(owned_per_part)
@@ -584,6 +816,19 @@ fn assemble(
         num_vertices: n,
         num_edges,
         epoch: 0,
+        vertex_cut,
+        incident_count,
+        isolated_per_part,
+        last_mutation: MutationStats::default(),
+    }
+}
+
+/// Increments the live-incidence count of `part` in a per-vertex holder
+/// list kept sorted by partition id.
+fn bump_incidence(counts: &mut Vec<(PartitionId, u32)>, part: PartitionId) {
+    match counts.binary_search_by_key(&part, |&(holder, _)| holder) {
+        Ok(slot) => counts[slot].1 += 1,
+        Err(slot) => counts.insert(slot, (part, 1)),
     }
 }
 
@@ -972,8 +1217,12 @@ mod tests {
         for (edge, part) in additions {
             batch.record_insert(edge, part);
         }
-        let mutated = initial.apply_mutations(&batch).unwrap();
+        let mut mutated = initial.clone();
+        let stats = mutated.apply_mutations(&batch).unwrap();
         assert_eq!(mutated.epoch(), 1);
+        assert_eq!(stats, mutated.last_mutation());
+        assert_eq!(stats.edges_added, 2);
+        assert!(stats.workers_touched >= 1 && stats.workers_touched <= 3);
 
         // The surviving stream in order: the undeleted originals, then the
         // batch additions.
@@ -996,10 +1245,10 @@ mod tests {
             (Edge::from((1u64, 2u64)), PartitionId::new(1)),
             (e, PartitionId::new(0)),
         ];
-        let initial = DistributedGraph::build_streaming(2, None, stream).unwrap();
+        let mut mutated = DistributedGraph::build_streaming(2, None, stream).unwrap();
         let mut batch = MutationBatch::new();
         batch.record_delete(e, PartitionId::new(0));
-        let mutated = initial.apply_mutations(&batch).unwrap();
+        mutated.apply_mutations(&batch).unwrap();
         assert_eq!(mutated.num_edges(), 2);
         assert_eq!(mutated.subgraph(PartitionId::new(0)).edges(), &[e]);
     }
@@ -1008,7 +1257,8 @@ mod tests {
     fn apply_mutations_rejects_bad_batches() {
         let g = square();
         let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
-        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let mut dg = DistributedGraph::build(&g, &partition).unwrap();
+        let pristine = dg.clone();
 
         let mut missing = MutationBatch::new();
         missing.record_delete(Edge::from((7u64, 8u64)), PartitionId::new(0));
@@ -1024,14 +1274,275 @@ mod tests {
             Err(BspError::PartitionMismatch { .. })
         ));
 
+        // Rejected batches leave the distribution untouched.
+        assert_eq!(dg.epoch(), 0);
+        assert_same_distribution(&dg, &pristine);
+
         // Edge-cut distributions replicate crossing edges and cannot absorb
         // edge-level mutations.
         let ec = MetisLikePartitioner::new().partition(&g, 2).unwrap();
-        let ec_dg = DistributedGraph::build(&g, &ec).unwrap();
+        let mut ec_dg = DistributedGraph::build(&g, &ec).unwrap();
+        assert!(!ec_dg.is_vertex_cut());
+        let mut non_empty = MutationBatch::new();
+        non_empty.record_insert(Edge::from((0u64, 2u64)), PartitionId::new(0));
         assert!(matches!(
-            ec_dg.apply_mutations(&MutationBatch::new()),
+            ec_dg.apply_mutations(&non_empty),
             Err(BspError::InvalidMutation { .. })
         ));
+    }
+
+    #[test]
+    fn missing_edge_error_is_deterministic() {
+        let g = square();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let mut dg = DistributedGraph::build(&g, &partition).unwrap();
+        // Several missing edges in the same partition: the message must name
+        // the smallest one, independent of HashMap iteration order.
+        let mut batch = MutationBatch::new();
+        for (s, d) in [(9u64, 9u64), (7u64, 8u64), (8u64, 7u64)] {
+            batch.record_delete(Edge::from((s, d)), PartitionId::new(1));
+        }
+        let err = dg.apply_mutations(&batch).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid mutation: partition 1 holds no copy of edge (7 -> 8) to remove"
+        );
+        // The lowest-numbered failing partition wins when several fail.
+        let mut multi = MutationBatch::new();
+        multi.record_delete(Edge::from((9u64, 9u64)), PartitionId::new(1));
+        multi.record_delete(Edge::from((5u64, 5u64)), PartitionId::new(0));
+        let err = dg.apply_mutations(&multi).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid mutation: partition 0 holds no copy of edge (5 -> 5) to remove"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op_and_does_not_advance_the_epoch() {
+        let g = square();
+        let partition = EbvPartitioner::new().partition(&g, 2).unwrap();
+        let mut dg = DistributedGraph::build(&g, &partition).unwrap();
+        let pristine = dg.clone();
+        let edges_buffer = dg.subgraph(PartitionId::new(0)).edges().as_ptr();
+
+        // Literally empty.
+        let stats = dg.apply_mutations(&MutationBatch::new()).unwrap();
+        assert_eq!(stats, MutationStats::default());
+
+        // Fully cancelled in-batch: insert then delete of the same copy.
+        let mut cancelled = MutationBatch::new();
+        let e = Edge::from((0u64, 3u64));
+        cancelled.record_insert(e, PartitionId::new(1));
+        cancelled.record_delete(e, PartitionId::new(1));
+        assert!(cancelled.is_empty());
+        let stats = dg.apply_mutations(&cancelled).unwrap();
+        assert_eq!(stats.workers_touched, 0);
+        assert_eq!(stats.edges_rebuilt, 0);
+
+        assert_eq!(dg.epoch(), 0, "no-op batches do not advance the epoch");
+        assert_same_distribution(&dg, &pristine);
+        // The subgraphs were not even re-allocated.
+        assert_eq!(
+            dg.subgraph(PartitionId::new(0)).edges().as_ptr(),
+            edges_buffer
+        );
+    }
+
+    #[test]
+    fn apply_mutations_rebuilds_only_touched_workers() {
+        // Four chain components, one per partition, so a batch naming two
+        // partitions cannot affect the other two.
+        let stream: Vec<(Edge, PartitionId)> = (0..4u64)
+            .flat_map(|part| {
+                let base = 10 * part;
+                [
+                    (Edge::from((base, base + 1)), PartitionId::new(part as u32)),
+                    (
+                        Edge::from((base + 1, base + 2)),
+                        PartitionId::new(part as u32),
+                    ),
+                ]
+            })
+            .collect();
+        let mut dg = DistributedGraph::build_streaming(4, None, stream.clone()).unwrap();
+        let untouched_buffers: Vec<*const Edge> = [2usize, 3]
+            .iter()
+            .map(|&i| dg.subgraphs()[i].edges().as_ptr())
+            .collect();
+
+        let mut batch = MutationBatch::new();
+        batch.record_delete(Edge::from((0u64, 1u64)), PartitionId::new(0));
+        batch.record_insert(Edge::from((11u64, 13u64)), PartitionId::new(1));
+        let stats = dg.apply_mutations(&batch).unwrap();
+        assert_eq!(stats.workers_touched, 2, "only partitions 0 and 1 rebuild");
+        assert_eq!(dg.epoch(), 1);
+
+        // The untouched workers kept their exact allocations.
+        for (&i, &buffer) in [2usize, 3].iter().zip(&untouched_buffers) {
+            assert_eq!(dg.subgraphs()[i].edges().as_ptr(), buffer, "worker {i}");
+        }
+
+        // And the whole distribution still equals a fresh build of the
+        // survivors.
+        let survivors: Vec<(Edge, PartitionId)> = stream
+            .into_iter()
+            .filter(|&(e, part)| !(e == Edge::from((0u64, 1u64)) && part == PartitionId::new(0)))
+            .chain([(Edge::from((11u64, 13u64)), PartitionId::new(1))])
+            .collect();
+        let fresh =
+            DistributedGraph::build_streaming(4, Some(dg.num_vertices()), survivors).unwrap();
+        assert_same_distribution(&dg, &fresh);
+    }
+
+    #[test]
+    fn isolation_changes_touch_the_home_worker() {
+        // Vertex 5's home partition is 5 % 2 = 1. Removing its only edge
+        // (held by partition 0) must re-home it as an isolated vertex in
+        // partition 1, so both workers are touched.
+        let stream = vec![
+            (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+            (Edge::from((0u64, 5u64)), PartitionId::new(0)),
+            (Edge::from((2u64, 3u64)), PartitionId::new(1)),
+        ];
+        let mut dg = DistributedGraph::build_streaming(2, None, stream.clone()).unwrap();
+        let mut batch = MutationBatch::new();
+        batch.record_delete(Edge::from((0u64, 5u64)), PartitionId::new(0));
+        let stats = dg.apply_mutations(&batch).unwrap();
+        assert_eq!(stats.workers_touched, 2);
+        let fresh = DistributedGraph::build_streaming(
+            2,
+            Some(dg.num_vertices()),
+            vec![
+                (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+                (Edge::from((2u64, 3u64)), PartitionId::new(1)),
+            ],
+        )
+        .unwrap();
+        assert_same_distribution(&dg, &fresh);
+        // And re-adding an edge to vertex 5 un-isolates it again.
+        let mut back = MutationBatch::new();
+        back.record_insert(Edge::from((4u64, 5u64)), PartitionId::new(1));
+        dg.apply_mutations(&back).unwrap();
+        let fresh = DistributedGraph::build_streaming(
+            2,
+            Some(dg.num_vertices()),
+            vec![
+                (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+                (Edge::from((2u64, 3u64)), PartitionId::new(1)),
+                (Edge::from((4u64, 5u64)), PartitionId::new(1)),
+            ],
+        )
+        .unwrap();
+        assert_same_distribution(&dg, &fresh);
+    }
+
+    #[test]
+    fn master_flags_are_patched_in_untouched_workers() {
+        // Vertex 1 is replicated in partitions 0 (two incident edges) and 1
+        // (one incident edge): partition 0 masters it. Adding two more
+        // incident edges to partition 1 flips the master to partition 1
+        // while partition 0's edge list never changes.
+        let stream = vec![
+            (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+            (Edge::from((1u64, 2u64)), PartitionId::new(0)),
+            (Edge::from((1u64, 3u64)), PartitionId::new(1)),
+        ];
+        let mut dg = DistributedGraph::build_streaming(2, None, stream.clone()).unwrap();
+        let v1 = VertexId::new(1);
+        assert_eq!(dg.replicas().master_of(v1), PartitionId::new(0));
+
+        let additions = [
+            (Edge::from((1u64, 4u64)), PartitionId::new(1)),
+            (Edge::from((1u64, 5u64)), PartitionId::new(1)),
+        ];
+        let mut batch = MutationBatch::new();
+        for (e, part) in additions {
+            batch.record_insert(e, part);
+        }
+        let stats = dg.apply_mutations(&batch).unwrap();
+        assert_eq!(stats.workers_touched, 1, "only partition 1 rebuilds");
+        assert_eq!(dg.replicas().master_of(v1), PartitionId::new(1));
+        // The untouched worker's replica flag was patched in place.
+        let sg0 = dg.subgraph(PartitionId::new(0));
+        let local = sg0.local_index_of(v1).unwrap();
+        assert!(!sg0.is_master(local));
+        let fresh = DistributedGraph::build_streaming(
+            2,
+            Some(dg.num_vertices()),
+            stream.into_iter().chain(additions),
+        )
+        .unwrap();
+        assert_same_distribution(&dg, &fresh);
+    }
+
+    #[test]
+    fn incremental_masters_match_fresh_build_under_random_churn() {
+        // A randomized cross-check on a denser graph: several mutation
+        // epochs, then full structural equality including masters.
+        let g = ebv_graph::generators::named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
+        let vc = partition.as_vertex_cut().unwrap();
+        let mut assigned: Vec<(Edge, PartitionId)> = g
+            .edges()
+            .iter()
+            .copied()
+            .zip(vc.assignment().iter().copied())
+            .collect();
+        let mut dg = DistributedGraph::build(&g, &partition).unwrap();
+        let mut next_vertex = g.num_vertices() as u64;
+        for round in 0..5 {
+            let mut batch = MutationBatch::new();
+            // Delete a deterministic third of the survivors.
+            let victims: Vec<(Edge, PartitionId)> = assigned
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == round % 3)
+                .map(|(_, pair)| pair)
+                .collect();
+            for &(e, part) in &victims {
+                batch.record_delete(e, part);
+            }
+            assigned.retain(|pair| !victims.contains(pair));
+            // Add edges, including ones growing the universe.
+            let additions = [
+                (
+                    Edge::from((round as u64, next_vertex)),
+                    PartitionId::new((round % 4) as u32),
+                ),
+                (
+                    Edge::from((next_vertex, next_vertex + 1)),
+                    PartitionId::new(((round + 1) % 4) as u32),
+                ),
+            ];
+            next_vertex += 2;
+            for (e, part) in additions {
+                batch.record_insert(e, part);
+                assigned.push((e, part));
+            }
+            dg.apply_mutations(&batch).unwrap();
+            let fresh = DistributedGraph::build_streaming(
+                4,
+                Some(dg.num_vertices()),
+                assigned.iter().copied(),
+            )
+            .unwrap();
+            assert_same_distribution(&dg, &fresh);
+            for v in 0..dg.num_vertices() {
+                let v = VertexId::from(v);
+                for sg in dg.subgraphs() {
+                    if let Some(local) = sg.local_index_of(v) {
+                        assert_eq!(
+                            sg.is_master(local),
+                            dg.replicas().master_of(v) == sg.part(),
+                            "round {round} vertex {v} worker {}",
+                            sg.part()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -1042,7 +1553,7 @@ mod tests {
         for expected in 1..=3 {
             let mut batch = MutationBatch::new();
             batch.record_insert(Edge::from((0u64, 2u64)), PartitionId::new(0));
-            dg = dg.apply_mutations(&batch).unwrap();
+            dg.apply_mutations(&batch).unwrap();
             assert_eq!(dg.epoch(), expected);
         }
         assert_eq!(dg.num_edges(), g.num_edges() + 3);

@@ -660,8 +660,13 @@ impl DynamicPartitioner {
         }
         let p = self.num_partitions;
         let average = self.live_edges as f64 / p as f64;
+        // Clamp to at least one live edge of headroom: on tiny or
+        // near-empty graphs (`average < 1`) the scaled target floors to 0,
+        // which would forbid every receiver (`load + 1 > cap`) and stall
+        // the epoch with the trigger still firing.
         let cap = (average.ceil() as usize)
-            .max((average * config.target_edge_imbalance).floor() as usize);
+            .max((average * config.target_edge_imbalance).floor() as usize)
+            .max(1);
 
         // Live log positions per partition, in insertion order.
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); p];
@@ -955,6 +960,45 @@ mod tests {
             after.replication_factor
         );
         assert_bit_identical(after, reference_metrics(&dynamic));
+    }
+
+    #[test]
+    fn rebalance_handles_tiny_and_near_empty_graphs() {
+        let aggressive = RebalanceConfig::new()
+            .with_max_edge_imbalance(1.0)
+            .with_target_edge_imbalance(1.0);
+
+        // Empty graph: nothing to migrate, nothing to panic over.
+        let mut empty = EbvPartitioner::new().dynamic(StreamConfig::new(4)).unwrap();
+        assert!(!empty.needs_rebalance(&aggressive));
+        assert!(empty.rebalance(&aggressive).unwrap().is_empty());
+
+        // One-edge graph: the single copy cannot be split; the epoch must
+        // terminate with the copy intact.
+        let mut single = EbvPartitioner::new().dynamic(StreamConfig::new(4)).unwrap();
+        single.insert(edge(0, 1));
+        let plan = single.rebalance(&aggressive).unwrap();
+        assert!(plan.is_empty(), "one edge in one partition is feasible");
+        assert_eq!(single.live_edges(), 1);
+        assert_bit_identical(single.metrics(), reference_metrics(&single));
+
+        // More partitions than edges (`average < 1`): without the clamp the
+        // scaled target floors to a zero cap that blocks every receiver.
+        // Three copies of one edge hash to the same partition (the Random
+        // policy is copy-independent), giving a deterministic skew; the
+        // epoch must spread them to one copy per partition.
+        let mut sparse = RandomVertexCutPartitioner::new()
+            .dynamic(StreamConfig::new(8))
+            .unwrap();
+        for _ in 0..3 {
+            sparse.insert(edge(0, 1));
+        }
+        assert_eq!(*sparse.edge_counts().iter().max().unwrap(), 3);
+        assert!(sparse.needs_rebalance(&aggressive));
+        let plan = sparse.rebalance(&aggressive).unwrap();
+        assert_eq!(plan.len(), 2, "two copies migrate to empty partitions");
+        assert_eq!(*sparse.edge_counts().iter().max().unwrap(), 1);
+        assert_bit_identical(sparse.metrics(), reference_metrics(&sparse));
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! ## Quick example
 //!
 //! Maintain a partition under churn and absorb the mutations into a
-//! distributed graph, one batch at a time:
+//! distributed graph, one incremental epoch per batch — only the workers a
+//! batch touches are re-assembled:
 //!
 //! ```
 //! use ebv_bsp::DistributedGraph;
@@ -45,11 +46,16 @@
 //! let mut distributed = DistributedGraph::build_streaming(workers, None, Vec::new())?;
 //!
 //! let churn = ChurnStream::new(stream, 0.25)?.with_seed(9);
-//! EventPipeline::new(2_048).run(churn, &mut partitioner, |batch, metrics| {
-//!     distributed = distributed.apply_mutations(batch)?;
-//!     assert!(metrics.edge_imbalance >= 1.0);
-//!     Ok(())
-//! })?;
+//! EventPipeline::new(2_048).run_applied(
+//!     churn,
+//!     &mut partitioner,
+//!     &mut distributed,
+//!     |_batch, metrics, stats| {
+//!         assert!(metrics.edge_imbalance >= 1.0);
+//!         assert!(stats.workers_touched <= workers);
+//!         Ok(())
+//!     },
+//! )?;
 //!
 //! assert_eq!(distributed.num_edges(), partitioner.live_edges());
 //! assert!(distributed.epoch() >= 1);
@@ -69,13 +75,15 @@ mod window;
 pub use churn::ChurnStream;
 pub use error::{DynamicError, Result};
 pub use event::{events, EventSource, EventVec, GraphEvent, InsertEvents};
-pub use pipeline::{batch_from_plan, BatchReport, EventPipeline, EventReport};
+pub use pipeline::{
+    batch_from_plan, confined_deletion_batch, BatchReport, EventPipeline, EventReport,
+};
 pub use window::{SlidingWindow, TumblingWindow};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        batch_from_plan, events, ChurnStream, DynamicError, EventPipeline, EventReport,
-        EventSource, GraphEvent, InsertEvents, SlidingWindow, TumblingWindow,
+        batch_from_plan, confined_deletion_batch, events, ChurnStream, DynamicError, EventPipeline,
+        EventReport, EventSource, GraphEvent, InsertEvents, SlidingWindow, TumblingWindow,
     };
 }

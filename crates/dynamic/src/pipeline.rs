@@ -1,8 +1,11 @@
 //! The event pipeline: mutation stream → [`DynamicPartitioner`] → batched
 //! [`MutationBatch`]es for the distribution layer.
 
-use ebv_bsp::MutationBatch;
-use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionMetrics};
+use std::collections::HashMap;
+
+use ebv_bsp::{DistributedGraph, MutationBatch, MutationStats};
+use ebv_graph::Edge;
+use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionId, PartitionMetrics};
 
 use crate::error::{DynamicError, Result};
 use crate::event::{EventSource, GraphEvent};
@@ -120,6 +123,40 @@ impl EventPipeline {
         }
         Ok(report)
     }
+
+    /// The incremental epoch loop: like [`run`](Self::run), but every batch
+    /// is additionally absorbed into `distributed` through the incremental
+    /// [`DistributedGraph::apply_mutations`] path — only the workers a
+    /// batch touches are re-assembled — before `on_epoch` observes the
+    /// batch, the maintained metrics and the epoch's [`MutationStats`].
+    ///
+    /// A batch whose events fully cancelled in-batch is a no-op at the
+    /// distribution layer (`workers_touched == 0`, the epoch counter does
+    /// not advance); `on_epoch` still sees it, so callers can count raw
+    /// batches if they want to.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) returns, plus
+    /// [`ebv_bsp::BspError`]s from `apply_mutations`. Batches applied
+    /// before a failure remain absorbed in both the partitioner and the
+    /// distribution.
+    pub fn run_applied<S, F>(
+        &self,
+        source: S,
+        partitioner: &mut DynamicPartitioner,
+        distributed: &mut DistributedGraph,
+        mut on_epoch: F,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
+    {
+        self.run(source, partitioner, |batch, metrics| {
+            let stats = distributed.apply_mutations(batch)?;
+            on_epoch(batch, metrics, stats)
+        })
+    }
 }
 
 /// Converts a rebalancer [`MigrationPlan`] into the [`MutationBatch`] that
@@ -130,6 +167,64 @@ pub fn batch_from_plan(plan: &MigrationPlan) -> MutationBatch {
         batch.record_move(m.edge, m.from, m.to);
     }
     batch
+}
+
+/// Builds a deletion-only [`MutationBatch`] confined to worker `target` —
+/// the hot-shard mutation pattern: applying it through the incremental
+/// [`DistributedGraph::apply_mutations`] re-assembles exactly that one
+/// worker (`workers_touched == 1`).
+///
+/// Up to `max_len` edges of `target` are selected, restricted to
+/// single-copy non-self-loop edges whose endpoints each keep at least one
+/// other live incident edge: a duplicated edge's LIFO deletion could
+/// remove a copy held by another worker, and a vertex losing its last
+/// edge would re-home round-robin as an isolated vertex elsewhere —
+/// either would widen the touched set. The selected edges are deleted
+/// from `partitioner` as they are recorded, keeping both sides in sync.
+///
+/// Used by the `evolving_graph` example and the `bench_dynamic`
+/// localized-epoch measurement.
+///
+/// # Errors
+///
+/// Propagates [`ebv_partition::PartitionError`] from the deletions
+/// (unreachable for a consistent partitioner: every victim is live).
+pub fn confined_deletion_batch(
+    partitioner: &mut DynamicPartitioner,
+    target: PartitionId,
+    max_len: usize,
+) -> Result<MutationBatch> {
+    let mut endpoint_refs: HashMap<u64, usize> = HashMap::new();
+    let mut copy_counts: HashMap<Edge, usize> = HashMap::new();
+    for (edge, _) in partitioner.surviving() {
+        *endpoint_refs.entry(edge.src.raw()).or_insert(0) += 1;
+        *endpoint_refs.entry(edge.dst.raw()).or_insert(0) += 1;
+        *copy_counts.entry(edge).or_insert(0) += 1;
+    }
+    let victims: Vec<Edge> = partitioner
+        .surviving()
+        .filter(|(edge, part)| {
+            *part == target
+                && edge.src != edge.dst
+                && copy_counts[edge] == 1
+                && endpoint_refs[&edge.src.raw()] >= 2
+                && endpoint_refs[&edge.dst.raw()] >= 2
+        })
+        .map(|(edge, _)| edge)
+        .collect();
+    let mut batch = MutationBatch::new();
+    for edge in victims {
+        if batch.len() >= max_len {
+            break;
+        }
+        let (src, dst) = (edge.src.raw(), edge.dst.raw());
+        if endpoint_refs[&src] >= 2 && endpoint_refs[&dst] >= 2 {
+            batch.record_delete(edge, partitioner.delete(edge)?);
+            *endpoint_refs.get_mut(&src).unwrap() -= 1;
+            *endpoint_refs.get_mut(&dst).unwrap() -= 1;
+        }
+    }
+    Ok(batch)
 }
 
 /// The running metrics recorded after one event batch.
@@ -268,6 +363,66 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn run_applied_drives_incremental_epochs() {
+        let stream = RmatEdgeStream::new(8, 1200).with_seed(11);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let mut distributed =
+            ebv_bsp::DistributedGraph::build_streaming(4, None, Vec::new()).unwrap();
+        let churn = ChurnStream::new(stream, 0.2).unwrap().with_seed(3);
+        let mut epochs = 0usize;
+        let report = EventPipeline::new(300)
+            .run_applied(
+                churn,
+                &mut partitioner,
+                &mut distributed,
+                |batch, metrics, stats| {
+                    assert!(metrics.edge_imbalance >= 1.0);
+                    if batch.is_empty() {
+                        assert_eq!(stats.workers_touched, 0);
+                    } else {
+                        epochs += 1;
+                        assert!(stats.workers_touched >= 1 && stats.workers_touched <= 4);
+                        assert_eq!(stats.edges_added, batch.added().len());
+                        assert_eq!(stats.edges_removed, batch.removed().len());
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert!(report.batches().len() >= epochs);
+        assert_eq!(distributed.epoch(), epochs, "only non-empty batches count");
+        assert_eq!(distributed.num_edges(), partitioner.live_edges());
+    }
+
+    #[test]
+    fn confined_batches_touch_exactly_one_worker() {
+        let stream = RmatEdgeStream::new(9, 4_000).with_seed(21);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let mut distributed =
+            ebv_bsp::DistributedGraph::build_streaming(4, None, Vec::new()).unwrap();
+        EventPipeline::new(500)
+            .run_applied(
+                InsertEvents::new(stream),
+                &mut partitioner,
+                &mut distributed,
+                |_, _, _| Ok(()),
+            )
+            .unwrap();
+        let target = ebv_partition::PartitionId::new(2);
+        let batch = confined_deletion_batch(&mut partitioner, target, 64).unwrap();
+        assert!(!batch.is_empty() && batch.len() <= 64);
+        assert!(batch.added().is_empty());
+        assert!(batch.removed().iter().all(|&(_, part)| part == target));
+        let stats = distributed.apply_mutations(&batch).unwrap();
+        assert_eq!(stats.workers_touched, 1);
+        assert_eq!(distributed.num_edges(), partitioner.live_edges());
     }
 
     #[test]

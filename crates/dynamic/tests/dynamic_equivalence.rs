@@ -273,18 +273,30 @@ proptest! {
         let spec2 = spec.clone();
         drive(&spec, &mut partitioner); // reference state, same deterministic stream
 
-        // Pipeline-driven copy applying every batch to the distribution.
+        // Pipeline-driven copy applying every batch to the distribution
+        // through the incremental path. Empty (fully cancelled) batches are
+        // no-ops and do not advance the epoch.
         let source = EventCollector::new(&spec2);
-        let mut batches = 0usize;
+        let mut absorbed = 0usize;
         EventPipeline::new(batch_size)
-            .run(source, &mut partitioner_for_pipeline, |batch, _| {
-                distributed = distributed.apply_mutations(batch)?;
-                batches += 1;
-                Ok(())
-            })
+            .run_applied(
+                source,
+                &mut partitioner_for_pipeline,
+                &mut distributed,
+                |batch, _, stats| {
+                    if batch.is_empty() {
+                        assert_eq!(stats.workers_touched, 0);
+                    } else {
+                        absorbed += 1;
+                        assert!(stats.workers_touched >= 1);
+                        assert!(stats.workers_touched <= p);
+                    }
+                    Ok(())
+                },
+            )
             .unwrap();
         prop_assume!(partitioner.live_edges() > 0);
-        prop_assert_eq!(distributed.epoch(), batches);
+        prop_assert_eq!(distributed.epoch(), absorbed);
         prop_assert_eq!(distributed.num_edges(), partitioner.live_edges());
 
         let fresh = DistributedGraph::build_streaming(
@@ -342,10 +354,7 @@ fn rebalance_epoch_restores_balance_and_preserves_cc() {
     let mut distributed = DistributedGraph::build_streaming(p, None, Vec::new()).unwrap();
     let churn = ChurnStream::new(stream, 0.2).unwrap().with_seed(5);
     EventPipeline::new(1_000)
-        .run(churn, &mut partitioner, |batch, _| {
-            distributed = distributed.apply_mutations(batch)?;
-            Ok(())
-        })
+        .run_applied(churn, &mut partitioner, &mut distributed, |_, _, _| Ok(()))
         .unwrap();
 
     // Starve partitions 1..p so the load concentrates on partition 0.
@@ -359,7 +368,7 @@ fn rebalance_epoch_restores_balance_and_preserves_cc() {
         let part = partitioner.delete(*edge).unwrap();
         batch.record_delete(*edge, part);
     }
-    distributed = distributed.apply_mutations(&batch).unwrap();
+    distributed.apply_mutations(&batch).unwrap();
 
     let config = RebalanceConfig::new()
         .with_max_edge_imbalance(1.25)
@@ -377,10 +386,13 @@ fn rebalance_epoch_restores_balance_and_preserves_cc() {
     );
 
     // Replay the migrations downstream and cross-check against a fresh
-    // build of the post-migration survivors.
-    distributed = distributed
+    // build of the post-migration survivors. Migrations concentrate on the
+    // overloaded/underloaded workers, so the incremental epoch reports its
+    // touched set.
+    let stats = distributed
         .apply_mutations(&batch_from_plan(&plan))
         .unwrap();
+    assert!(stats.workers_touched >= 1 && stats.workers_touched <= p);
     assert_eq!(distributed.num_edges(), partitioner.live_edges());
     let fresh = DistributedGraph::build_streaming(
         p,

@@ -1,7 +1,8 @@
 //! End-to-end evolving-graph pipeline: churned R-MAT mutation stream →
-//! dynamic EBV (exact decremental maintenance) → batched
-//! `apply_mutations` epochs on a distributed graph → imbalance-triggered
-//! rebalance → Connected Components, with from-scratch equality checks at
+//! dynamic EBV (exact decremental maintenance) → **incremental**
+//! `apply_mutations` epochs (only touched workers re-assemble) →
+//! **warm-started** BSP re-execution (CC labels carried across epochs) →
+//! imbalance-triggered rebalance, with from-scratch equality checks at
 //! every stage.
 //!
 //! The demo exercises the subsystem's central guarantees:
@@ -9,9 +10,13 @@
 //! * the maintained partition metrics after arbitrary insert/delete churn
 //!   are *bit-identical* to recomputing them from scratch over the
 //!   surviving edges;
-//! * the incrementally mutated `DistributedGraph` runs CC to exactly the
-//!   same labels as a fresh batch build of the survivors — before and
-//!   after a rebalance epoch migrates edges;
+//! * each mutation epoch re-assembles only the workers its batch touches
+//!   (reported as `touched/p` per epoch), and the incrementally mutated
+//!   `DistributedGraph` equals a fresh batch build of the survivors;
+//! * warm-started Connected Components carried across every epoch are
+//!   *bit-identical* to a cold run, at a fraction of the cost;
+//! * warm-started PageRank seeded from pre-mutation ranks matches a cold
+//!   run of the same kernel within tolerance, with fewer replica messages;
 //! * a sliding window bounds the live edge set regardless of stream
 //!   length.
 //!
@@ -21,9 +26,11 @@
 //! cargo run --release --example evolving_graph
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ebv::algorithms::ConnectedComponents;
+use ebv::algorithms::{
+    ranks, ConnectedComponents, IncrementalConnectedComponents, IncrementalPageRank,
+};
 use ebv::bsp::{BspEngine, DistributedGraph};
 use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
 use ebv::graph::GraphBuilder;
@@ -37,6 +44,11 @@ const CHURN: f64 = 0.25;
 const BATCH: usize = 50_000;
 const WINDOW: usize = 100_000;
 const SEED: u64 = 20_210_707;
+/// Cold PageRank iteration budget…
+const PR_ITERATIONS: usize = 60;
+/// …and the far smaller warm budget that reaches the same tolerance when
+/// seeded from the previous epoch's ranks.
+const PR_WARM_ITERATIONS: usize = 15;
 
 fn cc(distributed: &DistributedGraph) -> Vec<u64> {
     BspEngine::threaded()
@@ -81,26 +93,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {WORKERS} workers, batches of {BATCH}\n"
     );
 
-    // ── Phase 1: churned ingestion, one apply_mutations epoch per batch ──
+    // ── Phase 1: churned ingestion — one *incremental* apply_mutations
+    //    epoch per batch, CC labels *warm-started* across every epoch ─────
     let stream = RmatEdgeStream::new(SCALE, NUM_EDGES).with_seed(SEED);
     let mut partitioner = EbvPartitioner::new().dynamic(stream.stream_config(WORKERS))?;
     // Declare the generator's full vertex universe up front so the
     // distribution and the partitioner agree on it at every epoch.
     let mut distributed = DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())?;
     let churn = ChurnStream::new(stream, CHURN)?.with_seed(SEED);
+    let engine = BspEngine::threaded();
+
+    // Labels of the empty distribution: every vertex is its own component.
+    let mut labels = cc(&distributed);
+    let mut warm_cc_time = Duration::ZERO;
 
     let started = Instant::now();
-    println!("epoch  live-edges  ins     del     rf      e-imb");
+    println!("epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt");
     let report = EventPipeline::new(BATCH).run(churn, &mut partitioner, |batch, metrics| {
-        distributed = distributed.apply_mutations(batch)?;
+        // Incremental assembly: only touched workers rebuild.
+        let program = IncrementalConnectedComponents::from_batch(&labels, batch);
+        let stats = distributed.apply_mutations(batch)?;
+        // Warm-started re-execution: re-activate only the disturbed region.
+        let warm_started = Instant::now();
+        let warm = engine
+            .run_warm(&distributed, &program, &labels)
+            .expect("warm CC converges");
+        warm_cc_time += warm_started.elapsed();
+        labels = warm.values;
         println!(
-            "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}",
+            "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}",
             distributed.epoch(),
             distributed.num_edges(),
             batch.added().len(),
             batch.removed().len(),
             metrics.replication_factor,
             metrics.edge_imbalance,
+            stats.workers_touched,
+            stats.edges_rebuilt,
         );
         Ok(())
     })?;
@@ -119,21 +148,104 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let maintained = assert_metrics_recompute_exactly(&partitioner)?;
     println!("maintained metrics == from-scratch recompute: {maintained}");
 
-    // Exactness check 2: CC on the mutated distribution equals CC on a
+    // Exactness check 2: the warm-started labels carried across every epoch
+    // are bit-identical to a cold CC run, which in turn equals CC on a
     // fresh batch build of the survivors.
-    let labels_mutated = cc(&distributed);
-    let labels_fresh = cc(&fresh_build(&partitioner)?);
-    assert_eq!(labels_mutated, labels_fresh);
-    let mut components = labels_mutated.clone();
+    let cold_started = Instant::now();
+    let labels_cold = cc(&distributed);
+    let cold_cc_time = cold_started.elapsed();
+    assert_eq!(labels, labels_cold, "warm CC must be bit-identical");
+    assert_eq!(labels_cold, cc(&fresh_build(&partitioner)?));
+    let mut components = labels.clone();
     components.sort_unstable();
     components.dedup();
     println!(
-        "CC(mutated, epoch {}) == CC(fresh build): {} components\n",
+        "warm CC across {} epochs == cold CC == CC(fresh build): {} components",
         distributed.epoch(),
         components.len()
     );
+    let epochs = distributed.epoch() as u32;
+    println!(
+        "warm CC {:.2?}/epoch (churn disturbs ~10% of the graph) vs cold {cold_cc_time:.2?}\n",
+        warm_cc_time / epochs,
+    );
 
-    // ── Phase 2: skew + one rebalance epoch ──────────────────────────────
+    // ── Localized epoch: mutations confined to one worker ────────────────
+    // `confined_deletion_batch` picks deletions so no endpoint loses its
+    // last edge (which would re-home it as an isolated vertex elsewhere):
+    // the epoch re-assembles exactly one of the eight workers.
+    let local_batch = ebv::dynamic::confined_deletion_batch(
+        &mut partitioner,
+        ebv::partition::PartitionId::new(0),
+        1_000,
+    )?;
+    let local_program = IncrementalConnectedComponents::from_batch(&labels, &local_batch);
+    let local_started = Instant::now();
+    let stats = distributed.apply_mutations(&local_batch)?;
+    labels = engine
+        .run_warm(&distributed, &local_program, &labels)?
+        .values;
+    assert_eq!(
+        stats.workers_touched, 1,
+        "single-worker batch re-assembles one worker"
+    );
+    println!(
+        "localized epoch: {} deletions confined to worker 0 touched {}/{WORKERS} workers \
+         ({} edges re-indexed, epoch+warm CC in {:.2?})\n",
+        local_batch.len(),
+        stats.workers_touched,
+        stats.edges_rebuilt,
+        local_started.elapsed(),
+    );
+
+    // ── Phase 2: warm PageRank across a mutation epoch ───────────────────
+    let pr_cold = engine.run(
+        &distributed,
+        &IncrementalPageRank::from_distributed(&distributed, PR_ITERATIONS),
+    )?;
+    // One more churned batch on top of the ranked graph.
+    let extra = ChurnStream::new(
+        RmatEdgeStream::new(SCALE, BATCH / 2).with_seed(SEED + 11),
+        CHURN,
+    )?
+    .with_seed(SEED + 12);
+    let mut extra_cc_program = IncrementalConnectedComponents::new();
+    let cc_prior = labels.clone();
+    EventPipeline::new(BATCH).run(extra, &mut partitioner, |batch, _| {
+        extra_cc_program.absorb(&cc_prior, batch);
+        distributed.apply_mutations(batch)?;
+        Ok(())
+    })?;
+    // Warm-start with a quarter of the iteration budget: near the old
+    // fixpoint the contraction has that much less error to burn down.
+    let warm_program = IncrementalPageRank::from_distributed(&distributed, PR_WARM_ITERATIONS);
+    let warm_started = Instant::now();
+    let pr_warm = engine.run_warm(&distributed, &warm_program, &pr_cold.values)?;
+    let pr_warm_time = warm_started.elapsed();
+    let cold_program = IncrementalPageRank::from_distributed(&distributed, PR_ITERATIONS);
+    let cold_started = Instant::now();
+    let pr_cold_after = engine.run(&distributed, &cold_program)?;
+    let pr_cold_time = cold_started.elapsed();
+    let max_diff = ranks(&pr_warm.values)
+        .iter()
+        .zip(ranks(&pr_cold_after.values))
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-4, "warm PR drifted: max diff {max_diff}");
+    assert!(pr_warm.stats.total_messages() < pr_cold_after.stats.total_messages());
+    println!(
+        "warm PR ({PR_WARM_ITERATIONS} iters, {pr_warm_time:.2?}, {} msgs) matches cold \
+         ({PR_ITERATIONS} iters, {pr_cold_time:.2?}, {} msgs): max |Δrank| {max_diff:.2e}",
+        pr_warm.stats.total_messages(),
+        pr_cold_after.stats.total_messages(),
+    );
+    // Warm CC absorbed the same extra batches and still agrees.
+    let warm_cc = engine.run_warm(&distributed, &extra_cc_program, &cc_prior)?;
+    labels = warm_cc.values;
+    assert_eq!(labels, cc(&distributed));
+    println!("warm CC re-validated after the extra churn epoch\n");
+
+    // ── Phase 3: skew + one rebalance epoch ──────────────────────────────
     // Starve every partition but 0 to push the edge balance past the
     // trigger, then let the rebalancer emit a migration plan.
     let victims: Vec<_> = partitioner
@@ -146,7 +258,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let part = partitioner.delete(*edge)?;
         skew_batch.record_delete(*edge, part);
     }
-    distributed = distributed.apply_mutations(&skew_batch)?;
+    let skew_program = IncrementalConnectedComponents::from_batch(&labels, &skew_batch);
+    distributed.apply_mutations(&skew_batch)?;
 
     let config = RebalanceConfig::new()
         .with_max_edge_imbalance(1.25)
@@ -166,18 +279,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(after.edge_imbalance <= config.max_edge_imbalance());
     assert!(!partitioner.needs_rebalance(&config));
 
-    // Replay the migrations downstream and re-check both guarantees.
-    distributed = distributed.apply_mutations(&batch_from_plan(&plan))?;
+    // Replay the migrations downstream (another incremental epoch) and
+    // re-check both guarantees with a warm start across skew + migration.
+    let labels_before_skew = labels.clone();
+    let mut rebalance_program = skew_program;
+    let migration_batch = batch_from_plan(&plan);
+    rebalance_program.absorb(&labels_before_skew, &migration_batch);
+    let stats = distributed.apply_mutations(&migration_batch)?;
+    println!(
+        "migration epoch touched {}/{WORKERS} workers ({} local edges re-indexed)",
+        stats.workers_touched, stats.edges_rebuilt
+    );
     assert_eq!(distributed.num_edges(), partitioner.live_edges());
     assert_metrics_recompute_exactly(&partitioner)?;
-    let labels_after = cc(&distributed);
+    let labels_after = engine
+        .run_warm(&distributed, &rebalance_program, &labels_before_skew)?
+        .values;
+    assert_eq!(labels_after, cc(&distributed));
     assert_eq!(labels_after, cc(&fresh_build(&partitioner)?));
     println!(
-        "CC(rebalanced, epoch {}) == CC(fresh build): migration preserved every label\n",
+        "warm CC(rebalanced, epoch {}) == cold == CC(fresh build): migration preserved every \
+         label\n",
         distributed.epoch()
     );
 
-    // ── Phase 3: sliding-window ingestion bounds the live set ────────────
+    // ── Phase 4: sliding-window ingestion bounds the live set ────────────
     let mut window = SlidingWindow::new(
         RmatEdgeStream::new(SCALE, 3 * WINDOW / 2).with_seed(SEED + 1),
         WINDOW,
