@@ -1,0 +1,641 @@
+//! Warm-start SSSP and BFS: delta-stepping-style re-activation of hop
+//! distances across mutation epochs (see the module-level discussion in
+//! [`crate::incremental`] for the full design).
+//!
+//! Both programs share [`DistanceInvalidation`] and one core:
+//!
+//! * **Insertions** only shorten paths, so every prior distance remains a
+//!   valid upper bound; the inserted endpoints are seeded and relax
+//!   downward from there.
+//! * **Deletions** may lengthen or sever paths. A deleted edge `u→v` can
+//!   only have carried shortest paths if it was *tight* in the prior
+//!   outcome (`prior[u] + 1 == prior[v]`), and every vertex whose shortest
+//!   path crossed it then satisfies `prior[w] >= prior[v]` (subpaths of
+//!   shortest paths are shortest). The minimum such `prior[v]` over the
+//!   batch is the **horizon**: all distances at or beyond it are reset to
+//!   unreachable, everything strictly below it provably kept its exact
+//!   distance. The surviving settled rim re-relaxes into the reset cone.
+//!
+//! Every warm seed is therefore an upper bound of the new true distance
+//! with the source at 0, so the monotone relaxation fixpoint *is* the cold
+//! answer — warm SSSP/BFS are bit-identical to cold runs, they just start
+//! next to the fixpoint instead of at infinity.
+
+use std::collections::HashSet;
+
+use ebv_bsp::{
+    DistributedGraph, InvalidationPolicy, MutationBatch, Subgraph, SubgraphContext,
+    SubgraphProgram, WarmFrontier,
+};
+use ebv_graph::{Edge, VertexId};
+
+use super::kernel::{gated_min_superstep, Activation};
+use crate::{UNREACHABLE, UNVISITED};
+
+/// The shortest-path [`InvalidationPolicy`], two-tier:
+///
+/// * the **horizon** — the minimum prior distance a removed tight edge may
+///   have produced — is the graph-free conservative tier maintained by
+///   [`absorb`](IncrementalSssp::absorb): prior distances at or beyond it
+///   are dirty, everything below is provably unaffected;
+/// * the **cone** — the precise per-vertex invalidation installed by
+///   [`from_distributed`](IncrementalSssp::from_distributed), which walks
+///   the distribution's tight edges and keeps every vertex that still has a
+///   shortest-path certificate avoiding the deleted edges.
+#[derive(Debug, Clone)]
+pub(crate) struct DistanceInvalidation {
+    source: VertexId,
+    /// Smallest prior distance a deletion may have invalidated;
+    /// [`UNREACHABLE`] when no deletion touched a tight edge.
+    horizon: u64,
+    /// Raw ids whose prior distance lost every deletion-free certificate
+    /// (the downstream cones of the deleted tight edges).
+    cone: HashSet<u64>,
+}
+
+impl DistanceInvalidation {
+    fn new(source: VertexId) -> Self {
+        DistanceInvalidation {
+            source,
+            horizon: UNREACHABLE,
+            cone: HashSet::new(),
+        }
+    }
+}
+
+impl InvalidationPolicy for DistanceInvalidation {
+    type Value = u64;
+
+    fn on_removed_edge(&mut self, _edge: Edge, src_prior: Option<&u64>, dst_prior: Option<&u64>) {
+        // Endpoints that postdate the prior outcome carry no settled
+        // distance, so removing an edge between them invalidates nothing.
+        if let (Some(&src), Some(&dst)) = (src_prior, dst_prior) {
+            if src != UNREACHABLE && src + 1 == dst {
+                self.horizon = self.horizon.min(dst);
+            }
+        }
+    }
+
+    fn is_dirty(&self, vertex: VertexId, prior: &u64) -> bool {
+        // The source is always exactly 0; unreachable priors reset to the
+        // same unreachable initial, so >= keeps the predicate trivial.
+        vertex != self.source && (*prior >= self.horizon || self.cone.contains(&vertex.raw()))
+    }
+}
+
+/// Computes the precise invalidation cone over the **post-mutation**
+/// distribution: every vertex with a finite prior distance that no longer
+/// has a *tight certificate chain* — a path of present edges `u→v` with
+/// `prior[u] + 1 == prior[v]` all the way from the source.
+///
+/// A certified vertex's prior is an upper bound of its new distance
+/// (induction up the chain; a coincidentally tight *inserted* edge only
+/// strengthens the certificate), so only the returned cone has to reset
+/// and re-settle from the surviving rim. One O(E + V + D) vector sweep —
+/// cheap enough to sit inside the timed warm path.
+fn unsupported_cone(
+    source: VertexId,
+    distributed: &DistributedGraph,
+    prior: &[u64],
+) -> HashSet<u64> {
+    // Bucket the tight edges by head distance. Hop distances are < |V|, so
+    // anything larger cannot come from a real outcome; such an edge simply
+    // certifies nothing.
+    let max_level = prior.len();
+    let mut tight_by_level: Vec<Vec<(usize, usize)>> = vec![Vec::new(); max_level + 1];
+    for sg in distributed.subgraphs() {
+        for edge in sg.edges() {
+            let (Some(&du), Some(&dv)) = (prior.get(edge.src.index()), prior.get(edge.dst.index()))
+            else {
+                continue;
+            };
+            if du != UNREACHABLE && du + 1 == dv && (dv as usize) <= max_level {
+                tight_by_level[dv as usize].push((edge.src.index(), edge.dst.index()));
+            }
+        }
+    }
+
+    // Walk the levels upward: a vertex is supported when any tight
+    // in-neighbor one level below is (tails of a level-d edge sit at d-1,
+    // so they are already settled when their level is processed).
+    let mut supported = vec![false; prior.len()];
+    if prior.get(source.index()) == Some(&0) {
+        supported[source.index()] = true;
+    }
+    for level in tight_by_level {
+        for (u, v) in level {
+            if supported[u] {
+                supported[v] = true;
+            }
+        }
+    }
+    prior
+        .iter()
+        .enumerate()
+        .filter(|&(index, &distance)| {
+            distance != UNREACHABLE && index as u64 != source.raw() && !supported[index]
+        })
+        .map(|(index, _)| index as u64)
+        .collect()
+}
+
+/// The shared warm-distance machinery behind [`IncrementalSssp`] and
+/// [`IncrementalBfs`]; the two differ only in program name and in which
+/// cold program they are bit-identical to.
+#[derive(Debug, Clone)]
+struct WarmDistanceCore {
+    source: VertexId,
+    frontier: WarmFrontier<DistanceInvalidation>,
+}
+
+impl WarmDistanceCore {
+    fn new(source: VertexId) -> Self {
+        WarmDistanceCore {
+            source,
+            frontier: WarmFrontier::new(DistanceInvalidation::new(source)),
+        }
+    }
+
+    fn absorb(&mut self, prior: &[u64], batch: &MutationBatch) {
+        self.frontier.absorb(prior, batch);
+    }
+
+    fn from_distributed(
+        source: VertexId,
+        distributed: &DistributedGraph,
+        prior: &[u64],
+        batch: &MutationBatch,
+    ) -> Self {
+        let mut core = Self::new(source);
+        core.frontier.absorb_seeds(prior, batch);
+        core.frontier.policy_mut().cone = unsupported_cone(source, distributed, prior);
+        core
+    }
+
+    fn cone_vertices(&self) -> usize {
+        self.frontier.policy().cone.len()
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        match self.frontier.policy().horizon {
+            UNREACHABLE => None,
+            h => Some(h),
+        }
+    }
+
+    fn initial_value(&self, vertex: VertexId) -> u64 {
+        if vertex == self.source {
+            0
+        } else {
+            UNREACHABLE
+        }
+    }
+
+    fn warm_value(&self, vertex: VertexId, prior: &u64) -> u64 {
+        self.frontier
+            .retain(vertex, prior)
+            .copied()
+            .unwrap_or_else(|| self.initial_value(vertex))
+    }
+
+    fn run_superstep(&self, ctx: &mut SubgraphContext<'_, u64, u64>, superstep: usize) -> usize {
+        gated_min_superstep(
+            ctx,
+            superstep,
+            false,
+            1,
+            UNREACHABLE,
+            |raw| self.frontier.is_seed(raw),
+            Activation::DistanceFrontier,
+        )
+    }
+}
+
+macro_rules! warm_distance_program {
+    ($(#[$doc:meta])* $name:ident, $program_name:literal, $root:ident, $root_doc:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: WarmDistanceCore,
+        }
+
+        impl $name {
+            #[doc = concat!("Creates a pure warm restart rooted at `", $root_doc, "`: nothing")]
+            /// is dirty, nothing is seeded, so the run converges immediately
+            /// when the prior distances are still valid.
+            pub fn new($root: VertexId) -> Self {
+                $name {
+                    core: WarmDistanceCore::new($root),
+                }
+            }
+
+            /// Creates the program for one mutation batch applied on top of
+            /// the graph that produced `prior`, without looking at the graph
+            /// itself: deletions invalidate via the conservative horizon.
+            pub fn from_batch($root: VertexId, prior: &[u64], batch: &MutationBatch) -> Self {
+                let mut program = Self::new($root);
+                program.absorb(prior, batch);
+                program
+            }
+
+            /// Creates the program for one mutation batch, walking the
+            /// **post-mutation** `distributed` (the batch already applied,
+            /// exactly what `EventPipeline::run_applied` hands its epoch
+            /// callback) to compute the *precise* invalidation cone — only
+            /// vertices whose every tight shortest-path certificate crossed
+            /// a deleted edge are reset, instead of everything at or beyond
+            /// the horizon. `batch` contributes the insertion seeds.
+            pub fn from_distributed(
+                $root: VertexId,
+                distributed: &DistributedGraph,
+                prior: &[u64],
+                batch: &MutationBatch,
+            ) -> Self {
+                $name {
+                    core: WarmDistanceCore::from_distributed($root, distributed, prior, batch),
+                }
+            }
+
+            /// Folds one more mutation batch into the horizon/seed state.
+            /// Every batch applied since `prior` was computed must be
+            /// absorbed (in any order) before the warm run.
+            pub fn absorb(&mut self, prior: &[u64], batch: &MutationBatch) {
+                self.core.absorb(prior, batch);
+            }
+
+            #[doc = concat!("The ", $root_doc, " vertex.")]
+            pub fn $root(&self) -> VertexId {
+                self.core.source
+            }
+
+            /// The settled horizon: the smallest prior distance an absorbed
+            /// deletion may have invalidated, or `None` when no deletion
+            /// touched a tight edge (all prior distances survive).
+            pub fn horizon(&self) -> Option<u64> {
+                self.core.horizon()
+            }
+
+            /// Number of seed vertices activated in the first superstep.
+            pub fn seed_vertices(&self) -> usize {
+                self.core.frontier.seed_vertices()
+            }
+
+            /// Number of vertices in the precise invalidation cone computed
+            /// by [`from_distributed`](Self::from_distributed) (0 for the
+            /// horizon-based constructors).
+            pub fn cone_vertices(&self) -> usize {
+                self.core.cone_vertices()
+            }
+        }
+
+        impl SubgraphProgram for $name {
+            type Value = u64;
+            type Message = u64;
+
+            fn name(&self) -> String {
+                $program_name.to_string()
+            }
+
+            fn initial_value(&self, vertex: VertexId, _subgraph: &Subgraph) -> u64 {
+                self.core.initial_value(vertex)
+            }
+
+            fn warm_value(&self, vertex: VertexId, prior: &u64, _subgraph: &Subgraph) -> u64 {
+                self.core.warm_value(vertex, prior)
+            }
+
+            fn run_superstep(
+                &self,
+                ctx: &mut SubgraphContext<'_, u64, u64>,
+                superstep: usize,
+            ) -> usize {
+                self.core.run_superstep(ctx, superstep)
+            }
+        }
+    };
+}
+
+warm_distance_program!(
+    /// Warm-start Single-Source Shortest Path: distance-equal (in fact
+    /// bit-identical — hop distances are integers) to a cold
+    /// [`crate::SingleSourceShortestPath`] run on the mutated graph. See
+    /// the module-level discussion in [`crate::incremental`] for the
+    /// invalidation design.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ebv_algorithms::{IncrementalSssp, SingleSourceShortestPath};
+    /// use ebv_bsp::{BspEngine, DistributedGraph, MutationBatch};
+    /// use ebv_graph::{Edge, VertexId};
+    /// use ebv_partition::PartitionId;
+    ///
+    /// # fn main() -> Result<(), ebv_bsp::BspError> {
+    /// let mut distributed = DistributedGraph::build_streaming(
+    ///     2,
+    ///     None,
+    ///     vec![
+    ///         (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+    ///         (Edge::from((1u64, 2u64)), PartitionId::new(1)),
+    ///     ],
+    /// )?;
+    /// let engine = BspEngine::sequential();
+    /// let source = VertexId::new(0);
+    /// let cold = engine.run(&distributed, &SingleSourceShortestPath::new(source))?;
+    /// assert_eq!(cold.values, vec![0, 1, 2]);
+    ///
+    /// // A shortcut 0→2 arrives: only its endpoints re-activate.
+    /// let mut batch = MutationBatch::new();
+    /// batch.record_insert(Edge::from((0u64, 2u64)), PartitionId::new(0));
+    /// distributed.apply_mutations(&batch)?;
+    ///
+    /// let program = IncrementalSssp::from_batch(source, &cold.values, &batch);
+    /// assert_eq!(program.horizon(), None, "insertions invalidate nothing");
+    /// let warm = engine.run_warm(&distributed, &program, &cold.values)?;
+    /// assert_eq!(warm.values, vec![0, 1, 1]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    IncrementalSssp,
+    "SSSP-warm",
+    source,
+    "source"
+);
+
+warm_distance_program!(
+    /// Warm-start Breadth-First Search: bit-identical to a cold
+    /// [`crate::BreadthFirstSearch`] run on the mutated graph (BFS depths
+    /// are unit-weight shortest paths, so the warm machinery is exactly
+    /// [`IncrementalSssp`]'s). See the module-level discussion in
+    /// [`crate::incremental`] for the invalidation design.
+    IncrementalBfs,
+    "BFS-warm",
+    root,
+    "root"
+);
+
+// `UNVISITED == UNREACHABLE` is what lets BFS reuse the SSSP core; assert
+// the coupling the types cannot express.
+const _: () = assert!(UNVISITED == UNREACHABLE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BreadthFirstSearch, SingleSourceShortestPath};
+    use ebv_bsp::{BspEngine, DistributedGraph};
+    use ebv_graph::Graph;
+    use ebv_partition::{EbvPartitioner, PartitionId, Partitioner};
+
+    fn distribute(graph: &Graph, p: usize) -> (DistributedGraph, Vec<(Edge, PartitionId)>) {
+        let partition = EbvPartitioner::new().partition(graph, p).unwrap();
+        let vc = partition.as_vertex_cut().unwrap();
+        let assigned: Vec<(Edge, PartitionId)> = graph
+            .edges()
+            .iter()
+            .copied()
+            .zip(vc.assignment().iter().copied())
+            .collect();
+        (
+            DistributedGraph::build(graph, &partition).unwrap(),
+            assigned,
+        )
+    }
+
+    #[test]
+    fn warm_sssp_handles_inserts_deletes_and_severed_paths() {
+        let graph = ebv_graph::generators::named::small_social_graph();
+        let (mut distributed, assigned) = distribute(&graph, 3);
+        let engine = BspEngine::sequential();
+        let source = VertexId::new(0);
+        let mut distances = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap()
+            .values;
+
+        // Epoch 1: delete every fourth edge (may sever shortest paths);
+        // epoch 2: insert shortcuts; epoch 3: mixed batch growing the
+        // universe.
+        let mut survivors = assigned.clone();
+        let batches: Vec<Vec<(bool, Edge, PartitionId)>> = vec![
+            survivors
+                .iter()
+                .step_by(4)
+                .map(|&(e, p)| (false, e, p))
+                .collect(),
+            vec![
+                (true, Edge::from((0u64, 13u64)), PartitionId::new(1)),
+                (true, Edge::from((2u64, 7u64)), PartitionId::new(2)),
+            ],
+            vec![
+                (false, survivors[1].0, survivors[1].1),
+                (true, Edge::from((5u64, 20u64)), PartitionId::new(0)),
+            ],
+        ];
+        for ops in batches {
+            let mut batch = MutationBatch::new();
+            for &(is_insert, e, p) in &ops {
+                if is_insert {
+                    batch.record_insert(e, p);
+                    survivors.push((e, p));
+                } else {
+                    batch.record_delete(e, p);
+                    let pos = survivors.iter().rposition(|&pair| pair == (e, p)).unwrap();
+                    survivors.remove(pos);
+                }
+            }
+            let program = IncrementalSssp::from_batch(source, &distances, &batch);
+            distributed.apply_mutations(&batch).unwrap();
+            let warm = engine.run_warm(&distributed, &program, &distances).unwrap();
+            let cold = engine
+                .run(&distributed, &SingleSourceShortestPath::new(source))
+                .unwrap();
+            assert_eq!(warm.values, cold.values, "warm SSSP must be distance-equal");
+            distances = warm.values;
+        }
+    }
+
+    #[test]
+    fn warm_sssp_on_an_untouched_graph_converges_immediately() {
+        let graph = ebv_graph::generators::named::two_triangles();
+        let (distributed, _) = distribute(&graph, 2);
+        let engine = BspEngine::sequential();
+        let source = VertexId::new(0);
+        let cold = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap();
+        let program = IncrementalSssp::new(source);
+        assert_eq!(program.source(), source);
+        assert_eq!(program.horizon(), None);
+        assert_eq!(program.seed_vertices(), 0);
+        assert_eq!(program.name(), "SSSP-warm");
+        let warm = engine
+            .run_warm(&distributed, &program, &cold.values)
+            .unwrap();
+        assert_eq!(warm.values, cold.values);
+        assert_eq!(warm.supersteps, 1, "nothing to do: one quiescent superstep");
+        assert_eq!(warm.stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn deleting_a_tight_edge_sets_the_horizon_and_resets_the_cone() {
+        // Path 0→1→2→3 distributed over two workers; deleting 1→2 severs
+        // the tail, which must re-settle to unreachable.
+        let edges = vec![
+            (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+            (Edge::from((1u64, 2u64)), PartitionId::new(0)),
+            (Edge::from((2u64, 3u64)), PartitionId::new(1)),
+        ];
+        let mut distributed = DistributedGraph::build_streaming(2, None, edges).unwrap();
+        let engine = BspEngine::sequential();
+        let source = VertexId::new(0);
+        let cold = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap();
+        assert_eq!(cold.values, vec![0, 1, 2, 3]);
+
+        let mut batch = MutationBatch::new();
+        batch.record_delete(Edge::from((1u64, 2u64)), PartitionId::new(0));
+        let program = IncrementalSssp::from_batch(source, &cold.values, &batch);
+        // The deleted edge was tight with prior head distance 2: vertices 2
+        // and 3 reset, vertices 0 and 1 keep exact distances.
+        assert_eq!(program.horizon(), Some(2));
+        distributed.apply_mutations(&batch).unwrap();
+        let warm = engine
+            .run_warm(&distributed, &program, &cold.values)
+            .unwrap();
+        assert_eq!(warm.values, vec![0, 1, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn deleting_a_slack_edge_invalidates_nothing() {
+        // 0→1, 0→2, 1→2: the edge 1→2 is slack (prior 0+... 1+1 > 1), so
+        // deleting it must keep every settled distance.
+        let edges = vec![
+            (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+            (Edge::from((0u64, 2u64)), PartitionId::new(1)),
+            (Edge::from((1u64, 2u64)), PartitionId::new(0)),
+        ];
+        let mut distributed = DistributedGraph::build_streaming(2, None, edges).unwrap();
+        let engine = BspEngine::sequential();
+        let source = VertexId::new(0);
+        let cold = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap();
+        assert_eq!(cold.values, vec![0, 1, 1]);
+
+        let mut batch = MutationBatch::new();
+        batch.record_delete(Edge::from((1u64, 2u64)), PartitionId::new(0));
+        let program = IncrementalSssp::from_batch(source, &cold.values, &batch);
+        assert_eq!(
+            program.horizon(),
+            None,
+            "slack edges carry no shortest path"
+        );
+        distributed.apply_mutations(&batch).unwrap();
+        let warm = engine
+            .run_warm(&distributed, &program, &cold.values)
+            .unwrap();
+        assert_eq!(warm.values, vec![0, 1, 1]);
+        assert_eq!(warm.supersteps, 1, "no invalidation, no seeds: quiescent");
+    }
+
+    #[test]
+    fn the_precise_cone_spares_vertices_with_surviving_certificates() {
+        // Diamond 0→1, 0→2, 1→3, 2→3: deleting 0→1 horizon-invalidates
+        // everything at distance ≥ 1, but only vertex 1 actually lost its
+        // certificate — 2 keeps 0→2 and 3 keeps 2→3.
+        let edges = vec![
+            (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+            (Edge::from((0u64, 2u64)), PartitionId::new(1)),
+            (Edge::from((1u64, 3u64)), PartitionId::new(0)),
+            (Edge::from((2u64, 3u64)), PartitionId::new(1)),
+        ];
+        let mut distributed = DistributedGraph::build_streaming(2, None, edges).unwrap();
+        let engine = BspEngine::sequential();
+        let source = VertexId::new(0);
+        let cold = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap();
+        assert_eq!(cold.values, vec![0, 1, 1, 2]);
+
+        let mut batch = MutationBatch::new();
+        batch.record_delete(Edge::from((0u64, 1u64)), PartitionId::new(0));
+        let coarse = IncrementalSssp::from_batch(source, &cold.values, &batch);
+        assert_eq!(
+            coarse.horizon(),
+            Some(1),
+            "horizon resets everything settled"
+        );
+        distributed.apply_mutations(&batch).unwrap();
+        let precise = IncrementalSssp::from_distributed(source, &distributed, &cold.values, &batch);
+        assert_eq!(precise.horizon(), None);
+        assert_eq!(
+            precise.cone_vertices(),
+            1,
+            "only vertex 1 lost its certificate"
+        );
+
+        for program in [&coarse, &precise] {
+            let warm = engine
+                .run_warm(&distributed, program, &cold.values)
+                .unwrap();
+            assert_eq!(warm.values, vec![0, UNREACHABLE, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn from_distributed_certifies_via_surviving_parallel_copies() {
+        // Two parallel copies of 0→1 on different workers: deleting one
+        // leaves a surviving certificate, so nothing is invalidated.
+        let edges = vec![
+            (Edge::from((0u64, 1u64)), PartitionId::new(0)),
+            (Edge::from((0u64, 1u64)), PartitionId::new(1)),
+            (Edge::from((1u64, 2u64)), PartitionId::new(1)),
+        ];
+        let mut distributed = DistributedGraph::build_streaming(2, None, edges).unwrap();
+        let engine = BspEngine::sequential();
+        let source = VertexId::new(0);
+        let cold = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap();
+        let mut batch = MutationBatch::new();
+        batch.record_delete(Edge::from((0u64, 1u64)), PartitionId::new(0));
+        distributed.apply_mutations(&batch).unwrap();
+        let program = IncrementalSssp::from_distributed(source, &distributed, &cold.values, &batch);
+        assert_eq!(program.cone_vertices(), 0, "a parallel copy survives");
+        let warm = engine
+            .run_warm(&distributed, &program, &cold.values)
+            .unwrap();
+        assert_eq!(warm.values, vec![0, 1, 2]);
+        assert_eq!(warm.supersteps, 1, "no invalidation, no seeds: quiescent");
+    }
+
+    #[test]
+    fn warm_bfs_is_bit_identical_across_mixed_epochs() {
+        let graph = ebv_graph::generators::named::small_social_graph();
+        let (mut distributed, assigned) = distribute(&graph, 3);
+        let engine = BspEngine::sequential();
+        let root = VertexId::new(0);
+        let mut depths = engine
+            .run(&distributed, &BreadthFirstSearch::new(root))
+            .unwrap()
+            .values;
+
+        let mut batch = MutationBatch::new();
+        for &(e, p) in assigned.iter().step_by(3) {
+            batch.record_delete(e, p);
+        }
+        batch.record_insert(Edge::from((0u64, 11u64)), PartitionId::new(1));
+        let program = IncrementalBfs::from_batch(root, &depths, &batch);
+        assert_eq!(program.root(), root);
+        assert_eq!(program.name(), "BFS-warm");
+        distributed.apply_mutations(&batch).unwrap();
+        let warm = engine.run_warm(&distributed, &program, &depths).unwrap();
+        let cold = engine
+            .run(&distributed, &BreadthFirstSearch::new(root))
+            .unwrap();
+        assert_eq!(warm.values, cold.values, "warm BFS must be bit-identical");
+        depths = warm.values;
+        assert_eq!(depths[11], 1, "inserted edge re-activated its endpoints");
+    }
+}

@@ -1,0 +1,146 @@
+//! The gated worklist kernel shared by the min-propagation warm-start
+//! programs (CC, SSSP, BFS).
+//!
+//! All three algorithms compute a minimum fixpoint over `u64` values with
+//! min-folded replica messages. One warm superstep is always the same three
+//! moves:
+//!
+//! 1. fold replica messages (minimum wins) — receivers join the frontier;
+//! 2. on the first superstep, additionally activate the disturbed region
+//!    (the program-specific [`Activation`] plus the seed vertices);
+//! 3. run a worklist propagation to the local fixpoint, touching only edges
+//!    incident to active vertices, then ship only *changed* boundary values
+//!    to the other replicas (the message gating).
+
+use ebv_bsp::SubgraphContext;
+
+/// How the first warm superstep picks its extra activation frontier, beyond
+/// message receivers and seed vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Activation {
+    /// Activate vertices whose value equals their own raw id: reset members
+    /// of dirty components, new vertices, and component minima, whose
+    /// re-scan is free of updates (warm CC).
+    SelfLabeled,
+    /// Activate propagation-capable vertices with at least one invalidated
+    /// (`infinity`-valued) out-neighbor — the settled rim of the reset cone
+    /// that must re-relax into it (warm SSSP/BFS).
+    DistanceFrontier,
+}
+
+/// Runs one gated min-propagation superstep and returns the number of local
+/// vertices whose value changed.
+///
+/// * `undirected` — whether values flow both ways along each edge (CC) or
+///   only src→dst (SSSP/BFS);
+/// * `step` — the increment a value picks up crossing an edge (0 for label
+///   propagation, 1 for hop distances);
+/// * `infinity` — the "cannot propagate" value (`u64::MAX` sentinels);
+/// * `is_seed` — raw-id membership in the warm frontier's seed set.
+pub(crate) fn gated_min_superstep(
+    ctx: &mut SubgraphContext<'_, u64, u64>,
+    superstep: usize,
+    undirected: bool,
+    step: u64,
+    infinity: u64,
+    is_seed: impl Fn(u64) -> bool,
+    activation: Activation,
+) -> usize {
+    let n = ctx.subgraph().num_vertices();
+    let mut changed = vec![false; n];
+    let mut in_queue = vec![false; n];
+    let mut queue: Vec<usize> = Vec::new();
+
+    // Fold replica values received during the previous communication stage;
+    // receivers join the propagation frontier.
+    for local in 0..n {
+        if let Some(min) = ctx.messages(local).iter().copied().min() {
+            if min < *ctx.value(local) {
+                ctx.set_value(local, min);
+                changed[local] = true;
+                if !in_queue[local] {
+                    in_queue[local] = true;
+                    queue.push(local);
+                }
+            }
+        }
+    }
+
+    // First superstep: activate the disturbed region only.
+    if superstep == 0 {
+        for (local, queued) in in_queue.iter_mut().enumerate() {
+            if *queued {
+                continue;
+            }
+            let vertex = ctx.subgraph().vertex_at(local);
+            let value = *ctx.value(local);
+            let active = is_seed(vertex.raw())
+                || match activation {
+                    Activation::SelfLabeled => value == vertex.raw(),
+                    Activation::DistanceFrontier => {
+                        value != infinity
+                            && ctx
+                                .subgraph()
+                                .out_neighbors(local)
+                                .iter()
+                                .any(|&w| *ctx.value(w) == infinity)
+                    }
+                };
+            if active {
+                *queued = true;
+                queue.push(local);
+            }
+        }
+    }
+
+    // Worklist propagation to the local fixpoint, touching only edges
+    // incident to the active frontier.
+    while let Some(u) = queue.pop() {
+        in_queue[u] = false;
+        let directions = if undirected { 2 } else { 1 };
+        for direction in 0..directions {
+            let degree = if direction == 0 {
+                ctx.subgraph().out_neighbors(u).len()
+            } else {
+                ctx.subgraph().in_neighbors(u).len()
+            };
+            for idx in 0..degree {
+                let w = if direction == 0 {
+                    ctx.subgraph().out_neighbors(u)[idx]
+                } else {
+                    ctx.subgraph().in_neighbors(u)[idx]
+                };
+                ctx.add_work(1);
+                let a = *ctx.value(u);
+                let b = *ctx.value(w);
+                if a != infinity && a.saturating_add(step) < b {
+                    ctx.set_value(w, a + step);
+                    changed[w] = true;
+                    if !in_queue[w] {
+                        in_queue[w] = true;
+                        queue.push(w);
+                    }
+                } else if undirected && b != infinity && b.saturating_add(step) < a {
+                    ctx.set_value(u, b + step);
+                    changed[u] = true;
+                    if !in_queue[u] {
+                        in_queue[u] = true;
+                        queue.push(u);
+                    }
+                }
+            }
+        }
+    }
+
+    // Ship changed boundary values to the other replicas (the gating: an
+    // unchanged vertex is silent even when it re-scans its edges).
+    let mut updates = 0usize;
+    for (local, &was_changed) in changed.iter().enumerate() {
+        if was_changed {
+            updates += 1;
+            let value = *ctx.value(local);
+            ctx.send_to_replicas(local, value);
+        }
+    }
+    updates
+}

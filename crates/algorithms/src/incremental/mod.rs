@@ -1,0 +1,50 @@
+//! Warm-start (incremental) variants of the evaluation applications.
+//!
+//! A mutation epoch (`ebv_bsp::DistributedGraph::apply_mutations`) usually
+//! disturbs a tiny fraction of the graph, yet re-running CC, PageRank, SSSP
+//! or BFS from scratch pays the full cold-start cost every time. The
+//! programs here are designed for
+//! [`BspEngine::run_warm`](ebv_bsp::BspEngine::run_warm): they seed every
+//! vertex from the previous epoch's outcome and re-activate only the region
+//! the mutations disturbed.
+//!
+//! All four share one epoch shape, factored into the [`ebv_bsp::warm`]
+//! harness ([`WarmFrontier`](ebv_bsp::WarmFrontier) +
+//! [`InvalidationPolicy`](ebv_bsp::InvalidationPolicy)) and the gated
+//! worklist kernel in this module — a new warm-start algorithm only has to
+//! state *what a deletion invalidates* and *what a vertex's cold initial
+//! value is*:
+//!
+//! * [`IncrementalConnectedComponents`] converges to labels **bit-identical**
+//!   to a cold [`crate::ConnectedComponents`] run: the final label of every
+//!   vertex is the minimum vertex id of its component, a pure function of
+//!   the graph, so a correct incremental fixpoint cannot differ. Insertions
+//!   re-activate only the inserted endpoints; deletions conservatively reset
+//!   the components they touched (a deletion may split a component, and
+//!   min-label propagation cannot *raise* stale labels).
+//! * [`IncrementalSssp`] and [`IncrementalBfs`] carry hop distances across
+//!   epochs with delta-stepping-style re-activation, **bit-identical** to
+//!   cold [`crate::SingleSourceShortestPath`] / [`crate::BreadthFirstSearch`]
+//!   runs. Inserted-edge endpoints relax downward (an insertion can only
+//!   shorten paths); deletions invalidate either everything at or beyond the
+//!   deleted edge's head — the graph-free *horizon* of `from_batch` — or,
+//!   with `from_distributed`, exactly the *downstream cones* of vertices
+//!   whose every tight shortest-path certificate crossed a deleted edge.
+//!   The surviving settled frontier re-settles the reset region. Kept
+//!   distances are still valid upper bounds, reset ones restart from
+//!   unreachable, so the warm relaxation fixpoint is the cold answer.
+//! * [`IncrementalPageRank`] continues the power iteration from the previous
+//!   epoch's ranks. Rank mass propagates globally, so instead of a frontier
+//!   the win is iteration count: a warm start near the fixpoint needs far
+//!   fewer iterations than a cold uniform start to reach the same tolerance,
+//!   and bit-exact message gating suppresses replica traffic in regions that
+//!   have already re-converged.
+
+mod cc;
+mod distance;
+mod kernel;
+mod pagerank;
+
+pub use cc::IncrementalConnectedComponents;
+pub use distance::{IncrementalBfs, IncrementalSssp};
+pub use pagerank::IncrementalPageRank;

@@ -35,22 +35,25 @@
 
 mod bfs;
 mod cc;
-mod incremental;
+pub mod incremental;
 mod pagerank;
 pub mod reference;
 mod sssp;
 
 pub use bfs::{BreadthFirstSearch, UNVISITED};
 pub use cc::ConnectedComponents;
-pub use incremental::{IncrementalConnectedComponents, IncrementalPageRank};
+pub use incremental::{
+    IncrementalBfs, IncrementalConnectedComponents, IncrementalPageRank, IncrementalSssp,
+};
 pub use pagerank::{ranks, PageRank, PageRankValue};
 pub use sssp::{SingleSourceShortestPath, UNREACHABLE};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        ranks, BreadthFirstSearch, ConnectedComponents, IncrementalConnectedComponents,
-        IncrementalPageRank, PageRank, SingleSourceShortestPath,
+        ranks, BreadthFirstSearch, ConnectedComponents, IncrementalBfs,
+        IncrementalConnectedComponents, IncrementalPageRank, IncrementalSssp, PageRank,
+        SingleSourceShortestPath,
     };
 }
 

@@ -1,8 +1,8 @@
 //! Machine-readable throughput benchmark for the partitioning paths:
 //! batch, streaming, dynamic maintenance (insert/delete churn), the
 //! incremental-vs-full mutation-epoch comparison, warm-vs-cold BSP
-//! re-execution and one rebalance epoch, written as `BENCH_dynamic.json`
-//! for trend tracking.
+//! re-execution (CC, SSSP, BFS) and one rebalance epoch, written as
+//! `BENCH_dynamic.json` at the workspace root for trend tracking.
 //!
 //! Run with:
 //!
@@ -12,18 +12,26 @@
 //!
 //! Environment:
 //!
-//! * `EBV_BENCH_OUT` — output path (default `BENCH_dynamic.json`);
+//! * `EBV_BENCH_OUT` — output path (default: `BENCH_dynamic.json` at the
+//!   workspace root, regardless of the invoking directory);
 //! * `EBV_SCALE=full` — the larger workload size;
 //! * `EBV_SCALE=smoke` — a CI-sized workload (seconds, not minutes).
+//!
+//! The warm-vs-cold and incremental-vs-full ratios in the JSON are gated in
+//! CI by the `bench_gate` binary against `.github/bench_baseline.json`.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ebv_algorithms::{ConnectedComponents, IncrementalConnectedComponents};
+use ebv_algorithms::{
+    BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
+    IncrementalSssp, SingleSourceShortestPath,
+};
 use ebv_bench::TextTable;
 use ebv_bsp::{BspEngine, DistributedGraph, MutationBatch};
 use ebv_dynamic::{ChurnStream, EventPipeline};
-use ebv_graph::GraphBuilder;
+use ebv_graph::{GraphBuilder, VertexId};
 use ebv_partition::{
     EbvPartitioner, Partitioner, RandomVertexCutPartitioner, RebalanceConfig, StreamingPartitioner,
 };
@@ -330,6 +338,97 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seconds: cc_warm_seconds,
             state_bytes: 0,
         });
+
+        // Warm vs cold SSSP and BFS across further churned mutation epochs
+        // (the run_applied wiring with the precise invalidation cone); the
+        // distances/depths are carried warm across every epoch like the
+        // `evolving_graph` example does.
+        let source = VertexId::new(0);
+        let started = Instant::now();
+        let mut distances = engine
+            .run(&incremental, &SingleSourceShortestPath::new(source))?
+            .values;
+        let sssp_cold_seconds = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let mut depths = engine
+            .run(&incremental, &BreadthFirstSearch::new(source))?
+            .values;
+        let bfs_cold_seconds = started.elapsed().as_secs_f64();
+
+        let extra = ChurnStream::new(
+            RmatEdgeStream::new(scale, 1 << 13).with_seed(45),
+            churn_ratio,
+        )?
+        .with_seed(17);
+        let mut warm_epochs = 0usize;
+        let mut cone_total = 0usize;
+        let mut seed_total = 0usize;
+        let mut sssp_warm_seconds = 0.0f64;
+        let mut bfs_warm_seconds = 0.0f64;
+        EventPipeline::new(1 << 20).run_applied(
+            extra,
+            &mut partitioner,
+            &mut incremental,
+            |dg, batch, _, _| {
+                // The warm windows include program construction (the precise
+                // cone walks the post-mutation distribution), so the gated
+                // ratios cover the whole warm path, not just the BSP run.
+                let started = Instant::now();
+                let sssp = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+                let warm = engine.run_warm(dg, &sssp, &distances)?;
+                sssp_warm_seconds += started.elapsed().as_secs_f64();
+                let verify = engine.run(dg, &SingleSourceShortestPath::new(source))?;
+                assert_eq!(
+                    warm.values, verify.values,
+                    "warm SSSP must be distance-equal"
+                );
+                distances = warm.values;
+                let started = Instant::now();
+                let bfs = IncrementalBfs::from_distributed(source, dg, &depths, batch);
+                let warm = engine.run_warm(dg, &bfs, &depths)?;
+                bfs_warm_seconds += started.elapsed().as_secs_f64();
+                let verify = engine.run(dg, &BreadthFirstSearch::new(source))?;
+                assert_eq!(warm.values, verify.values, "warm BFS must be bit-identical");
+                depths = warm.values;
+                warm_epochs += 1;
+                cone_total += sssp.cone_vertices();
+                seed_total += sssp.seed_vertices();
+                Ok(())
+            },
+        )?;
+        assert!(warm_epochs >= 1, "the extra churn stream produced no epoch");
+        println!(
+            "warm SSSP/BFS across {warm_epochs} epoch(s): re-settled {cone_total} cone \
+             vertices from {seed_total} seeds"
+        );
+        rows.push(Measurement {
+            name: "sssp_cold",
+            items: "distances",
+            count: incremental.num_vertices(),
+            seconds: sssp_cold_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "sssp_warm_epoch",
+            items: "distances",
+            count: incremental.num_vertices(),
+            seconds: sssp_warm_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "bfs_cold",
+            items: "depths",
+            count: incremental.num_vertices(),
+            seconds: bfs_cold_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "bfs_warm_epoch",
+            items: "depths",
+            count: incremental.num_vertices(),
+            seconds: bfs_warm_seconds,
+            state_bytes: 0,
+        });
     }
 
     let mut table = TextTable::new("Dynamic-subsystem throughput");
@@ -355,9 +454,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let workload = format!("rmat-scale{scale}");
     let json = emit_json(&workload, num_edges, workers, &rows);
-    let out_path =
-        std::env::var("EBV_BENCH_OUT").unwrap_or_else(|_| "BENCH_dynamic.json".to_string());
+    // Default to the workspace root (two levels above this crate's
+    // manifest) so the binary writes the same tracked file from any cwd.
+    let out_path = std::env::var_os("EBV_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("BENCH_dynamic.json")
+        });
     std::fs::write(&out_path, &json)?;
-    println!("wrote {out_path}");
+    println!("wrote {}", out_path.display());
     Ok(())
 }

@@ -1,0 +1,229 @@
+//! The CI bench-regression gate: compares the warm-vs-cold and
+//! incremental-vs-full ratios of a `bench_dynamic` JSON report against the
+//! checked-in baseline and exits non-zero when any ratio regressed past its
+//! cap — so the speedups the dynamic subsystem ships cannot silently rot.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ebv-bench --bin bench_gate -- \
+//!     BENCH_dynamic.json [.github/bench_baseline.json]
+//! ```
+//!
+//! Both arguments are optional and default to the workspace-root
+//! `BENCH_dynamic.json` and `.github/bench_baseline.json`. The baseline
+//! lists `"a/b"` measurement-name pairs with the maximum allowed
+//! `seconds(a) / seconds(b)` ratio; a cap of 1.0 means "a must not be
+//! slower than b" (e.g. warm epochs must beat cold re-execution). Missing
+//! measurements or malformed files fail the gate — it is fail-closed.
+//!
+//! The vendored serde stand-in has no JSON backend, so both files are read
+//! with a minimal scanner for the flat schemas this repo emits.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Extracts every string or number value keyed by `key` from a flat JSON
+/// document, in document order. Enough of a parser for the two schemas the
+/// gate reads (no escapes, no nesting of the scanned keys).
+fn scan_values(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\":");
+    let mut values = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = rest[at + needle.len()..].trim_start();
+        let value = if let Some(quoted) = rest.strip_prefix('"') {
+            let end = quoted.find('"').unwrap_or(quoted.len());
+            quoted[..end].to_string()
+        } else {
+            rest.split(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+                .next()
+                .unwrap_or("")
+                .to_string()
+        };
+        values.push(value);
+    }
+    values
+}
+
+/// The `(name, seconds)` measurements of a `bench_dynamic` report.
+fn parse_measurements(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let names = scan_values(json, "name");
+    let seconds = scan_values(json, "seconds");
+    if names.is_empty() || names.len() != seconds.len() {
+        return Err(format!(
+            "malformed bench report: {} names vs {} seconds values",
+            names.len(),
+            seconds.len()
+        ));
+    }
+    names
+        .into_iter()
+        .zip(seconds)
+        .map(|(name, s)| {
+            let parsed = s
+                .parse::<f64>()
+                .map_err(|_| format!("measurement {name}: unparseable seconds {s:?}"))?;
+            Ok((name, parsed))
+        })
+        .collect()
+}
+
+/// The `(numerator, denominator, max_ratio)` caps of the baseline file.
+fn parse_baseline(json: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let names = scan_values(json, "ratio");
+    let maxima = scan_values(json, "max");
+    if names.is_empty() || names.len() != maxima.len() {
+        return Err(format!(
+            "malformed baseline: {} ratios vs {} max values",
+            names.len(),
+            maxima.len()
+        ));
+    }
+    names
+        .into_iter()
+        .zip(maxima)
+        .map(|(ratio, max)| {
+            let (a, b) = ratio
+                .split_once('/')
+                .ok_or_else(|| format!("baseline ratio {ratio:?} is not \"a/b\""))?;
+            let cap = max
+                .parse::<f64>()
+                .map_err(|_| format!("baseline ratio {ratio}: unparseable max {max:?}"))?;
+            Ok((a.to_string(), b.to_string(), cap))
+        })
+        .collect()
+}
+
+fn seconds_of(measurements: &[(String, f64)], name: &str) -> Result<f64, String> {
+    measurements
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, s)| s)
+        .ok_or_else(|| format!("measurement {name:?} missing from the bench report"))
+}
+
+fn run(bench_path: &Path, baseline_path: &Path) -> Result<bool, String> {
+    let bench = std::fs::read_to_string(bench_path)
+        .map_err(|e| format!("cannot read {}: {e}", bench_path.display()))?;
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let measurements = parse_measurements(&bench)?;
+    let caps = parse_baseline(&baseline)?;
+    if caps.is_empty() {
+        return Err("the baseline gates nothing".to_string());
+    }
+
+    let mut ok = true;
+    println!("bench-regression gate: {}", bench_path.display());
+    for (numerator, denominator, cap) in &caps {
+        let a = seconds_of(&measurements, numerator)?;
+        let b = seconds_of(&measurements, denominator)?;
+        if b <= 0.0 {
+            return Err(format!(
+                "measurement {denominator:?} has non-positive seconds"
+            ));
+        }
+        let ratio = a / b;
+        let verdict = if ratio <= *cap { "ok" } else { "REGRESSED" };
+        println!("  {numerator}/{denominator}: {ratio:.3} (max {cap:.3}) {verdict}");
+        if ratio > *cap {
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let mut args = std::env::args().skip(1);
+    let bench_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root.join("BENCH_dynamic.json"));
+    let baseline_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root.join(".github").join("bench_baseline.json"));
+
+    match run(&bench_path, &baseline_path) {
+        Ok(true) => {
+            println!("all gated ratios within baseline");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench-regression gate FAILED: at least one ratio regressed");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench-regression gate error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "benchmark": "dynamic",
+  "measurements": [
+    {"name": "cc_cold", "items": "labels", "count": 10, "seconds": 0.100000, "throughput_per_s": 100.0, "state_bytes": 0},
+    {"name": "cc_warm_epoch", "items": "labels", "count": 10, "seconds": 0.025000, "throughput_per_s": 400.0, "state_bytes": 0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_names_and_seconds_in_order() {
+        let m = parse_measurements(REPORT).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, "cc_cold");
+        assert!((m[0].1 - 0.1).abs() < 1e-12);
+        assert_eq!(m[1].0, "cc_warm_epoch");
+        assert!((m[1].1 - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_caps_split_into_ratio_pairs() {
+        let caps = parse_baseline(r#"{"gates": [{"ratio": "cc_warm_epoch/cc_cold", "max": 1.0}]}"#)
+            .unwrap();
+        assert_eq!(caps.len(), 1);
+        assert_eq!(caps[0].0, "cc_warm_epoch");
+        assert_eq!(caps[0].1, "cc_cold");
+        assert!((caps[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_measurements_and_malformed_ratios_are_errors() {
+        let m = parse_measurements(REPORT).unwrap();
+        assert!(seconds_of(&m, "sssp_cold").is_err());
+        assert!(parse_baseline(r#"{"gates": [{"ratio": "no-slash", "max": 1.0}]}"#).is_err());
+        assert!(parse_baseline(r#"{"gates": []}"#).is_err());
+        assert!(parse_measurements("{}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_cap_and_fails_beyond_it() {
+        let dir = std::env::temp_dir().join("ebv_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("bench.json");
+        std::fs::write(&bench, REPORT).unwrap();
+
+        let passing = dir.join("passing.json");
+        std::fs::write(
+            &passing,
+            r#"{"gates": [{"ratio": "cc_warm_epoch/cc_cold", "max": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(run(&bench, &passing).unwrap());
+
+        let failing = dir.join("failing.json");
+        std::fs::write(
+            &failing,
+            r#"{"gates": [{"ratio": "cc_cold/cc_warm_epoch", "max": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(!run(&bench, &failing).unwrap());
+    }
+}

@@ -29,6 +29,7 @@ mod error;
 mod program;
 mod stats;
 mod subgraph;
+pub mod warm;
 
 pub use engine::{BspEngine, BspOutcome, ExecutionMode};
 pub use error::{BspError, Result};
@@ -39,6 +40,7 @@ pub use stats::{
 pub use subgraph::{
     DistributedGraph, DistributedGraphBuilder, MutationBatch, MutationStats, ReplicaTable, Subgraph,
 };
+pub use warm::{InvalidationPolicy, WarmFrontier};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {

@@ -50,9 +50,10 @@
 //!     churn,
 //!     &mut partitioner,
 //!     &mut distributed,
-//!     |_batch, metrics, stats| {
+//!     |distributed, _batch, metrics, stats| {
 //!         assert!(metrics.edge_imbalance >= 1.0);
 //!         assert!(stats.workers_touched <= workers);
+//!         assert_eq!(distributed.num_workers(), workers);
 //!         Ok(())
 //!     },
 //! )?;

@@ -128,7 +128,15 @@ impl EventPipeline {
     /// is additionally absorbed into `distributed` through the incremental
     /// [`DistributedGraph::apply_mutations`] path — only the workers a
     /// batch touches are re-assembled — before `on_epoch` observes the
-    /// batch, the maintained metrics and the epoch's [`MutationStats`].
+    /// post-mutation distribution, the batch, the maintained metrics and
+    /// the epoch's [`MutationStats`].
+    ///
+    /// The distribution handed to `on_epoch` is the one the batch was just
+    /// applied to, so the callback can re-execute programs against it —
+    /// typically warm-started via
+    /// [`BspEngine::run_warm`](ebv_bsp::BspEngine::run_warm) with an
+    /// `ebv_algorithms::incremental` program fed the same batch (see the
+    /// `evolving_graph` example for the CC/SSSP/BFS epoch loop).
     ///
     /// A batch whose events fully cancelled in-batch is a no-op at the
     /// distribution layer (`workers_touched == 0`, the epoch counter does
@@ -150,11 +158,11 @@ impl EventPipeline {
     ) -> Result<EventReport>
     where
         S: EventSource,
-        F: FnMut(&MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
+        F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
     {
         self.run(source, partitioner, |batch, metrics| {
             let stats = distributed.apply_mutations(batch)?;
-            on_epoch(batch, metrics, stats)
+            on_epoch(distributed, batch, metrics, stats)
         })
     }
 }
@@ -380,8 +388,9 @@ mod tests {
                 churn,
                 &mut partitioner,
                 &mut distributed,
-                |batch, metrics, stats| {
+                |dg, batch, metrics, stats| {
                     assert!(metrics.edge_imbalance >= 1.0);
+                    assert_eq!(dg.num_workers(), 4);
                     if batch.is_empty() {
                         assert_eq!(stats.workers_touched, 0);
                     } else {
@@ -412,7 +421,7 @@ mod tests {
                 InsertEvents::new(stream),
                 &mut partitioner,
                 &mut distributed,
-                |_, _, _| Ok(()),
+                |_, _, _, _| Ok(()),
             )
             .unwrap();
         let target = ebv_partition::PartitionId::new(2);

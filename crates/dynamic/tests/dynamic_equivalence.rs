@@ -283,7 +283,7 @@ proptest! {
                 source,
                 &mut partitioner_for_pipeline,
                 &mut distributed,
-                |batch, _, stats| {
+                |_, batch, _, stats| {
                     if batch.is_empty() {
                         assert_eq!(stats.workers_touched, 0);
                     } else {
@@ -354,7 +354,9 @@ fn rebalance_epoch_restores_balance_and_preserves_cc() {
     let mut distributed = DistributedGraph::build_streaming(p, None, Vec::new()).unwrap();
     let churn = ChurnStream::new(stream, 0.2).unwrap().with_seed(5);
     EventPipeline::new(1_000)
-        .run_applied(churn, &mut partitioner, &mut distributed, |_, _, _| Ok(()))
+        .run_applied(churn, &mut partitioner, &mut distributed, |_, _, _, _| {
+            Ok(())
+        })
         .unwrap();
 
     // Starve partitions 1..p so the load concentrates on partition 0.

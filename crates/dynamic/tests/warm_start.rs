@@ -1,5 +1,5 @@
 //! Property tests for warm-started BSP re-execution across mutation epochs
-//! (the PR 3 tentpole): over seeded churned R-MAT streams,
+//! (the PR 3 and PR 4 tentpoles): over seeded churned R-MAT streams,
 //!
 //! 1. warm-started Connected Components
 //!    ([`IncrementalConnectedComponents`] via `BspEngine::run_warm`) is
@@ -10,16 +10,23 @@
 //!    cold run of the same kernel and iteration count within tolerance
 //!    (both sit within the power-iteration contraction bound of the same
 //!    fixpoint);
-//! 3. the incremental epochs driving both never rebuild more workers than
+//! 3. warm-started SSSP ([`IncrementalSssp`]) is **distance-equal** and
+//!    warm-started BFS ([`IncrementalBfs`]) **bit-identical** to cold runs
+//!    after every churned epoch, including deletion-heavy batches that
+//!    disconnect previously-settled vertices (their distances must re-settle
+//!    to unreachable, never keep a stale finite value);
+//! 4. the incremental epochs driving them never rebuild more workers than
 //!    the distribution has.
 
 use proptest::prelude::*;
 
 use ebv_algorithms::{
-    ranks, ConnectedComponents, IncrementalConnectedComponents, IncrementalPageRank,
+    ranks, BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
+    IncrementalPageRank, IncrementalSssp, SingleSourceShortestPath, UNREACHABLE,
 };
-use ebv_bsp::{BspEngine, DistributedGraph};
+use ebv_bsp::{BspEngine, DistributedGraph, MutationBatch};
 use ebv_dynamic::{ChurnStream, EventPipeline, InsertEvents};
+use ebv_graph::VertexId;
 use ebv_partition::EbvPartitioner;
 use ebv_stream::{EdgeSource, RmatEdgeStream};
 
@@ -103,7 +110,7 @@ proptest! {
                 InsertEvents::new(stream),
                 &mut partitioner,
                 &mut distributed,
-                |_, _, _| Ok(()),
+                |_, _, _, _| Ok(()),
             )
             .unwrap();
         let prior = engine
@@ -122,7 +129,7 @@ proptest! {
         .unwrap()
         .with_seed(seed + 3);
         EventPipeline::new(64)
-            .run_applied(churned, &mut partitioner, &mut distributed, |_, _, _| {
+            .run_applied(churned, &mut partitioner, &mut distributed, |_, _, _, _| {
                 Ok(())
             })
             .unwrap();
@@ -140,5 +147,147 @@ proptest! {
         // The bit-exact message gating means the warm run, which starts
         // near the fixpoint, never out-talks the cold run.
         prop_assert!(warm.stats.total_messages() <= cold.stats.total_messages());
+    }
+
+    /// Warm SSSP distances and warm BFS depths equal cold runs bit-for-bit
+    /// after every churned epoch, driven through the incremental
+    /// `EventPipeline::run_applied` loop.
+    #[test]
+    fn warm_sssp_and_bfs_equal_cold_across_churned_epochs(
+        scale in 5u32..8,
+        num_edges in 60usize..400,
+        seed in 0u64..400,
+        churn in 1u32..6,
+        p in 2usize..6,
+        batch_size in 24usize..160,
+    ) {
+        let source = VertexId::new(0);
+        let stream = RmatEdgeStream::new(scale, num_edges).with_seed(seed);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(p))
+            .unwrap();
+        let mut distributed =
+            DistributedGraph::build_streaming(p, Some(1 << scale), Vec::new()).unwrap();
+        let engine = BspEngine::sequential();
+        let mut distances = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap()
+            .values;
+        let mut depths = engine
+            .run(&distributed, &BreadthFirstSearch::new(source))
+            .unwrap()
+            .values;
+
+        let churned = ChurnStream::new(stream, churn as f64 / 10.0)
+            .unwrap()
+            .with_seed(seed + 1);
+        let mut epochs = 0usize;
+        EventPipeline::new(batch_size)
+            .run_applied(churned, &mut partitioner, &mut distributed, |dg, batch, _, stats| {
+                assert!(stats.workers_touched <= p);
+                // Exercise both constructors: the precise cone for SSSP
+                // (`run_applied` hands the post-mutation distribution the
+                // constructor expects), the graph-free horizon for BFS.
+                let sssp = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+                let bfs = IncrementalBfs::from_batch(source, &depths, batch);
+                let warm_sssp = engine.run_warm(dg, &sssp, &distances).unwrap();
+                let cold_sssp = engine
+                    .run(dg, &SingleSourceShortestPath::new(source))
+                    .unwrap();
+                assert_eq!(
+                    warm_sssp.values, cold_sssp.values,
+                    "warm SSSP diverged at epoch {}",
+                    dg.epoch()
+                );
+                let warm_bfs = engine.run_warm(dg, &bfs, &depths).unwrap();
+                let cold_bfs = engine
+                    .run(dg, &BreadthFirstSearch::new(source))
+                    .unwrap();
+                assert_eq!(
+                    warm_bfs.values, cold_bfs.values,
+                    "warm BFS diverged at epoch {}",
+                    dg.epoch()
+                );
+                // Unit-weight SSSP and BFS are the same function.
+                assert_eq!(warm_sssp.values, warm_bfs.values);
+                distances = warm_sssp.values;
+                depths = warm_bfs.values;
+                epochs += 1;
+                Ok(())
+            })
+            .unwrap();
+        prop_assert!(epochs >= 1);
+        prop_assert_eq!(distributed.num_edges(), partitioner.live_edges());
+    }
+
+    /// Deletion-heavy batches that disconnect previously-settled vertices:
+    /// after deleting every `step`-th surviving edge (step 1 = all of them)
+    /// warm SSSP/BFS still equal cold runs, and every settled vertex severed
+    /// from the source re-settles to unreachable instead of keeping its
+    /// stale finite distance.
+    #[test]
+    fn deletion_heavy_batches_resettle_disconnected_vertices(
+        scale in 5u32..8,
+        num_edges in 60usize..300,
+        seed in 0u64..400,
+        p in 2usize..6,
+        step in 1usize..4,
+    ) {
+        let source = VertexId::new(0);
+        let stream = RmatEdgeStream::new(scale, num_edges).with_seed(seed);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(p))
+            .unwrap();
+        let mut distributed =
+            DistributedGraph::build_streaming(p, Some(1 << scale), Vec::new()).unwrap();
+        let engine = BspEngine::sequential();
+        EventPipeline::new(64)
+            .run_applied(
+                InsertEvents::new(stream),
+                &mut partitioner,
+                &mut distributed,
+                |_, _, _, _| Ok(()),
+            )
+            .unwrap();
+        let prior_sssp = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap()
+            .values;
+        let prior_bfs = engine
+            .run(&distributed, &BreadthFirstSearch::new(source))
+            .unwrap()
+            .values;
+        prop_assert_eq!(&prior_sssp, &prior_bfs);
+
+        // One deletion-heavy batch over the survivors.
+        let victims: Vec<_> = partitioner.surviving().collect();
+        let mut batch = MutationBatch::new();
+        for &(edge, _) in victims.iter().step_by(step) {
+            batch.record_delete(edge, partitioner.delete(edge).unwrap());
+        }
+        let sssp = IncrementalSssp::from_batch(source, &prior_sssp, &batch);
+        let bfs = IncrementalBfs::from_batch(source, &prior_bfs, &batch);
+        distributed.apply_mutations(&batch).unwrap();
+
+        let warm = engine.run_warm(&distributed, &sssp, &prior_sssp).unwrap();
+        let cold = engine
+            .run(&distributed, &SingleSourceShortestPath::new(source))
+            .unwrap();
+        prop_assert_eq!(&warm.values, &cold.values, "deletion-heavy warm SSSP diverged");
+        let warm_bfs = engine.run_warm(&distributed, &bfs, &prior_bfs).unwrap();
+        let cold_bfs = engine
+            .run(&distributed, &BreadthFirstSearch::new(source))
+            .unwrap();
+        prop_assert_eq!(&warm_bfs.values, &cold_bfs.values, "deletion-heavy warm BFS diverged");
+
+        if step == 1 {
+            // Every edge is gone: all previously-settled vertices except the
+            // source itself must have re-settled to unreachable.
+            for (v, (&prior, &now)) in prior_sssp.iter().zip(&warm.values).enumerate() {
+                if v as u64 != source.raw() && prior != UNREACHABLE {
+                    prop_assert_eq!(now, UNREACHABLE, "vertex {} kept a stale distance", v);
+                }
+            }
+        }
     }
 }

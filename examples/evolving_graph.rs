@@ -15,6 +15,9 @@
 //!   `DistributedGraph` equals a fresh batch build of the survivors;
 //! * warm-started Connected Components carried across every epoch are
 //!   *bit-identical* to a cold run, at a fraction of the cost;
+//! * warm-started SSSP distances and BFS depths carried across the same
+//!   epochs (delta-stepping-style re-activation of the precise deletion
+//!   cones) are *bit-identical* to cold runs from the same source;
 //! * warm-started PageRank seeded from pre-mutation ranks matches a cold
 //!   run of the same kernel within tolerance, with fewer replica messages;
 //! * a sliding window bounds the live edge set regardless of stream
@@ -29,11 +32,12 @@
 use std::time::{Duration, Instant};
 
 use ebv::algorithms::{
-    ranks, ConnectedComponents, IncrementalConnectedComponents, IncrementalPageRank,
+    ranks, BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
+    IncrementalPageRank, IncrementalSssp, SingleSourceShortestPath,
 };
 use ebv::bsp::{BspEngine, DistributedGraph};
 use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
-use ebv::graph::GraphBuilder;
+use ebv::graph::{GraphBuilder, VertexId};
 use ebv::partition::{EbvPartitioner, PartitionMetrics, RebalanceConfig, StreamConfig};
 use ebv::stream::{EdgeSource, RmatEdgeStream};
 
@@ -44,6 +48,8 @@ const CHURN: f64 = 0.25;
 const BATCH: usize = 50_000;
 const WINDOW: usize = 100_000;
 const SEED: u64 = 20_210_707;
+/// Root of the warm-carried SSSP/BFS outcomes (the R-MAT hub vertex).
+const SOURCE: u64 = 0;
 /// Cold PageRank iteration budget…
 const PR_ITERATIONS: usize = 60;
 /// …and the far smaller warm budget that reaches the same tolerance when
@@ -93,8 +99,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {WORKERS} workers, batches of {BATCH}\n"
     );
 
-    // ── Phase 1: churned ingestion — one *incremental* apply_mutations
-    //    epoch per batch, CC labels *warm-started* across every epoch ─────
+    // ── Phase 1: churned ingestion through `run_applied` — one
+    //    *incremental* apply_mutations epoch per batch; CC labels, SSSP
+    //    distances and BFS depths all *warm-started* across every epoch ───
     let stream = RmatEdgeStream::new(SCALE, NUM_EDGES).with_seed(SEED);
     let mut partitioner = EbvPartitioner::new().dynamic(stream.stream_config(WORKERS))?;
     // Declare the generator's full vertex universe up front so the
@@ -102,37 +109,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut distributed = DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())?;
     let churn = ChurnStream::new(stream, CHURN)?.with_seed(SEED);
     let engine = BspEngine::threaded();
+    let source = VertexId::new(SOURCE);
 
-    // Labels of the empty distribution: every vertex is its own component.
+    // Values of the empty distribution: every vertex its own component,
+    // everything but the source unreachable.
     let mut labels = cc(&distributed);
+    let mut distances = engine
+        .run(&distributed, &SingleSourceShortestPath::new(source))?
+        .values;
+    let mut depths = engine
+        .run(&distributed, &BreadthFirstSearch::new(source))?
+        .values;
     let mut warm_cc_time = Duration::ZERO;
+    let mut warm_sssp_time = Duration::ZERO;
+    let mut warm_bfs_time = Duration::ZERO;
 
     let started = Instant::now();
-    println!("epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt");
-    let report = EventPipeline::new(BATCH).run(churn, &mut partitioner, |batch, metrics| {
-        // Incremental assembly: only touched workers rebuild.
-        let program = IncrementalConnectedComponents::from_batch(&labels, batch);
-        let stats = distributed.apply_mutations(batch)?;
-        // Warm-started re-execution: re-activate only the disturbed region.
-        let warm_started = Instant::now();
-        let warm = engine
-            .run_warm(&distributed, &program, &labels)
-            .expect("warm CC converges");
-        warm_cc_time += warm_started.elapsed();
-        labels = warm.values;
-        println!(
-            "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}",
-            distributed.epoch(),
-            distributed.num_edges(),
-            batch.added().len(),
-            batch.removed().len(),
-            metrics.replication_factor,
-            metrics.edge_imbalance,
-            stats.workers_touched,
-            stats.edges_rebuilt,
-        );
-        Ok(())
-    })?;
+    println!("epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt  sssp-cone");
+    let report = EventPipeline::new(BATCH).run_applied(
+        churn,
+        &mut partitioner,
+        &mut distributed,
+        |dg, batch, metrics, stats| {
+            // Incremental assembly already happened: `dg` is the
+            // post-mutation distribution, only touched workers rebuilt.
+            // Warm-started re-execution re-activates only the disturbed
+            // region for all three carried outcomes; each timed window
+            // covers program construction (dirty sets, deletion cones)
+            // plus the warm BSP run.
+            let warm_started = Instant::now();
+            let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
+            labels = engine.run_warm(dg, &cc_program, &labels)?.values;
+            warm_cc_time += warm_started.elapsed();
+            let warm_started = Instant::now();
+            let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+            distances = engine.run_warm(dg, &sssp_program, &distances)?.values;
+            warm_sssp_time += warm_started.elapsed();
+            let warm_started = Instant::now();
+            let bfs_program = IncrementalBfs::from_distributed(source, dg, &depths, batch);
+            depths = engine.run_warm(dg, &bfs_program, &depths)?.values;
+            warm_bfs_time += warm_started.elapsed();
+            println!(
+                "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}  {:>9}",
+                dg.epoch(),
+                dg.num_edges(),
+                batch.added().len(),
+                batch.removed().len(),
+                metrics.replication_factor,
+                metrics.edge_imbalance,
+                stats.workers_touched,
+                stats.edges_rebuilt,
+                sssp_program.cone_vertices(),
+            );
+            Ok(())
+        },
+    )?;
     let elapsed = started.elapsed();
     let events = report.total_inserts() + report.total_deletes();
     println!(
@@ -166,8 +197,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let epochs = distributed.epoch() as u32;
     println!(
-        "warm CC {:.2?}/epoch (churn disturbs ~10% of the graph) vs cold {cold_cc_time:.2?}\n",
+        "warm CC {:.2?}/epoch (churn disturbs ~10% of the graph) vs cold {cold_cc_time:.2?}",
         warm_cc_time / epochs,
+    );
+
+    // Exactness check 3: the warm-carried SSSP distances and BFS depths are
+    // bit-identical to cold runs on the final distribution.
+    let cold_started = Instant::now();
+    let sssp_cold = engine.run(&distributed, &SingleSourceShortestPath::new(source))?;
+    let sssp_cold_time = cold_started.elapsed();
+    assert_eq!(
+        distances, sssp_cold.values,
+        "warm SSSP must be distance-equal"
+    );
+    let cold_started = Instant::now();
+    let bfs_cold = engine.run(&distributed, &BreadthFirstSearch::new(source))?;
+    let bfs_cold_time = cold_started.elapsed();
+    assert_eq!(depths, bfs_cold.values, "warm BFS must be bit-identical");
+    assert_eq!(distances, depths, "unit-weight SSSP and BFS agree");
+    let reachable = distances
+        .iter()
+        .filter(|&&d| d != ebv::algorithms::UNREACHABLE)
+        .count();
+    println!(
+        "warm SSSP across {} epochs == cold SSSP ({reachable} reachable vertices): \
+         {:.2?}/epoch vs cold {sssp_cold_time:.2?}",
+        distributed.epoch(),
+        warm_sssp_time / epochs,
+    );
+    println!(
+        "warm BFS across {} epochs == cold BFS: {:.2?}/epoch vs cold {bfs_cold_time:.2?}\n",
+        distributed.epoch(),
+        warm_bfs_time / epochs,
     );
 
     // ── Localized epoch: mutations confined to one worker ────────────────
