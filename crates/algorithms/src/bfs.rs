@@ -49,7 +49,8 @@ impl SubgraphProgram for BreadthFirstSearch {
     }
 
     fn run_superstep(&self, ctx: &mut SubgraphContext<'_, u64, u64>, _superstep: usize) -> usize {
-        let n = ctx.subgraph().num_vertices();
+        let sg = ctx.subgraph();
+        let n = sg.num_vertices();
         let mut changed = vec![false; n];
 
         for (local, was_changed) in changed.iter_mut().enumerate() {
@@ -61,7 +62,8 @@ impl SubgraphProgram for BreadthFirstSearch {
             }
         }
 
-        // Local BFS expansion to a fixpoint within the subgraph.
+        // Local BFS expansion to a fixpoint within the subgraph, streaming
+        // each vertex's CSR neighbour slice.
         loop {
             let mut any = false;
             for local in 0..n {
@@ -69,8 +71,8 @@ impl SubgraphProgram for BreadthFirstSearch {
                 if depth == UNVISITED {
                     continue;
                 }
-                for idx in 0..ctx.subgraph().out_neighbors(local).len() {
-                    let neighbor = ctx.subgraph().out_neighbors(local)[idx];
+                for &neighbor in sg.out_neighbors(local) {
+                    let neighbor = neighbor as usize;
                     ctx.add_work(1);
                     if depth + 1 < *ctx.value(neighbor) {
                         ctx.set_value(neighbor, depth + 1);

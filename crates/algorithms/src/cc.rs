@@ -56,7 +56,8 @@ impl SubgraphProgram for ConnectedComponents {
     }
 
     fn run_superstep(&self, ctx: &mut SubgraphContext<'_, u64, u64>, _superstep: usize) -> usize {
-        let n = ctx.subgraph().num_vertices();
+        let sg = ctx.subgraph();
+        let n = sg.num_vertices();
         let mut changed = vec![false; n];
 
         // Fold replica labels received during the previous communication
@@ -71,12 +72,13 @@ impl SubgraphProgram for ConnectedComponents {
         }
 
         // Sequential label propagation over the whole subgraph until a local
-        // fixpoint (undirected: labels flow both ways along each edge).
+        // fixpoint (undirected: labels flow both ways along each edge),
+        // streaming each vertex's CSR neighbour slice.
         loop {
             let mut any = false;
             for local in 0..n {
-                for idx in 0..ctx.subgraph().out_neighbors(local).len() {
-                    let neighbor = ctx.subgraph().out_neighbors(local)[idx];
+                for &neighbor in sg.out_neighbors(local) {
+                    let neighbor = neighbor as usize;
                     ctx.add_work(1);
                     let a = *ctx.value(local);
                     let b = *ctx.value(neighbor);

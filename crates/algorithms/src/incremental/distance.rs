@@ -98,19 +98,30 @@ fn unsupported_cone(
     distributed: &DistributedGraph,
     prior: &[u64],
 ) -> HashSet<u64> {
-    // Bucket the tight edges by head distance. Hop distances are < |V|, so
-    // anything larger cannot come from a real outcome; such an edge simply
-    // certifies nothing.
+    // Bucket the tight edges by head distance, streaming each subgraph's
+    // CSR adjacency (tails grouped, one offset lookup per tail). Hop
+    // distances are < |V|, so anything larger cannot come from a real
+    // outcome; such an edge simply certifies nothing. Within a level the
+    // sweep below is order-independent (every tail sits one level down),
+    // so the CSR visit order is as good as edge order.
     let max_level = prior.len();
     let mut tight_by_level: Vec<Vec<(usize, usize)>> = vec![Vec::new(); max_level + 1];
     for sg in distributed.subgraphs() {
-        for edge in sg.edges() {
-            let (Some(&du), Some(&dv)) = (prior.get(edge.src.index()), prior.get(edge.dst.index()))
-            else {
+        for (u_local, &u) in sg.vertices().iter().enumerate() {
+            let Some(&du) = prior.get(u.index()) else {
                 continue;
             };
-            if du != UNREACHABLE && du + 1 == dv && (dv as usize) <= max_level {
-                tight_by_level[dv as usize].push((edge.src.index(), edge.dst.index()));
+            if du == UNREACHABLE {
+                continue;
+            }
+            for &v_local in sg.out_neighbors(u_local) {
+                let v = sg.vertex_at(v_local as usize);
+                let Some(&dv) = prior.get(v.index()) else {
+                    continue;
+                };
+                if du + 1 == dv && (dv as usize) <= max_level {
+                    tight_by_level[dv as usize].push((u.index(), v.index()));
+                }
             }
         }
     }

@@ -46,7 +46,8 @@ pub(crate) fn gated_min_superstep(
     is_seed: impl Fn(u64) -> bool,
     activation: Activation,
 ) -> usize {
-    let n = ctx.subgraph().num_vertices();
+    let sg = ctx.subgraph();
+    let n = sg.num_vertices();
     let mut changed = vec![false; n];
     let mut in_queue = vec![false; n];
     let mut queue: Vec<usize> = Vec::new();
@@ -72,18 +73,17 @@ pub(crate) fn gated_min_superstep(
             if *queued {
                 continue;
             }
-            let vertex = ctx.subgraph().vertex_at(local);
+            let vertex = sg.vertex_at(local);
             let value = *ctx.value(local);
             let active = is_seed(vertex.raw())
                 || match activation {
                     Activation::SelfLabeled => value == vertex.raw(),
                     Activation::DistanceFrontier => {
                         value != infinity
-                            && ctx
-                                .subgraph()
+                            && sg
                                 .out_neighbors(local)
                                 .iter()
-                                .any(|&w| *ctx.value(w) == infinity)
+                                .any(|&w| *ctx.value(w as usize) == infinity)
                     }
                 };
             if active {
@@ -94,22 +94,19 @@ pub(crate) fn gated_min_superstep(
     }
 
     // Worklist propagation to the local fixpoint, touching only edges
-    // incident to the active frontier.
+    // incident to the active frontier; each direction streams one CSR
+    // neighbour slice.
     while let Some(u) = queue.pop() {
         in_queue[u] = false;
         let directions = if undirected { 2 } else { 1 };
         for direction in 0..directions {
-            let degree = if direction == 0 {
-                ctx.subgraph().out_neighbors(u).len()
+            let neighbors = if direction == 0 {
+                sg.out_neighbors(u)
             } else {
-                ctx.subgraph().in_neighbors(u).len()
+                sg.in_neighbors(u)
             };
-            for idx in 0..degree {
-                let w = if direction == 0 {
-                    ctx.subgraph().out_neighbors(u)[idx]
-                } else {
-                    ctx.subgraph().in_neighbors(u)[idx]
-                };
+            for &w in neighbors {
+                let w = w as usize;
                 ctx.add_work(1);
                 let a = *ctx.value(u);
                 let b = *ctx.value(w);

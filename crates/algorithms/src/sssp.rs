@@ -70,7 +70,8 @@ impl SubgraphProgram for SingleSourceShortestPath {
     }
 
     fn run_superstep(&self, ctx: &mut SubgraphContext<'_, u64, u64>, _superstep: usize) -> usize {
-        let n = ctx.subgraph().num_vertices();
+        let sg = ctx.subgraph();
+        let n = sg.num_vertices();
         let mut changed = vec![false; n];
 
         for (local, was_changed) in changed.iter_mut().enumerate() {
@@ -82,7 +83,8 @@ impl SubgraphProgram for SingleSourceShortestPath {
             }
         }
 
-        // Bellman–Ford relaxation over local directed edges to a fixpoint.
+        // Bellman–Ford relaxation over the local CSR adjacency to a
+        // fixpoint.
         loop {
             let mut any = false;
             for local in 0..n {
@@ -90,8 +92,8 @@ impl SubgraphProgram for SingleSourceShortestPath {
                 if distance == UNREACHABLE {
                     continue;
                 }
-                for idx in 0..ctx.subgraph().out_neighbors(local).len() {
-                    let neighbor = ctx.subgraph().out_neighbors(local)[idx];
+                for &neighbor in sg.out_neighbors(local) {
+                    let neighbor = neighbor as usize;
                     ctx.add_work(1);
                     let candidate = distance + 1;
                     if candidate < *ctx.value(neighbor) {

@@ -301,11 +301,97 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             localized_full / localized_incremental,
         );
 
-        // Warm vs cold CC across one more churned mutation epoch.
+        // Sequential vs threaded cold CC: the threaded/sequential ratio is
+        // gated in CI (the parallel two-phase exchange must not make the
+        // threaded engine slower on CI's multi-core runners), the values
+        // and counters must agree bit-for-bit, and the routed-message
+        // throughput of the threaded run is reported as its own series.
+        // Two noise defences keep the hard 1.0 ratio cap meaningful:
+        //
+        // * the pair runs on a FIXED scale-16 / 500k-edge distribution in
+        //   every bench mode (including smoke) — a millisecond-scale smoke
+        //   graph would measure per-superstep thread-spawn overhead, not
+        //   the engine;
+        // * both sides take the best of three runs — execution is
+        //   deterministic, so repetition only strips scheduler noise.
+        let route_graph = {
+            let mut source = RmatEdgeStream::new(16, 500_000).with_seed(42);
+            let mut builder = GraphBuilder::directed();
+            while let Some(edge) = source.next_edge() {
+                builder.add_edge(edge?);
+            }
+            builder.num_vertices(1 << 16);
+            builder.build()?
+        };
+        let route_partition = EbvPartitioner::new()
+            .unsorted()
+            .partition(&route_graph, workers)?;
+        let route_distributed = DistributedGraph::build(&route_graph, &route_partition)?;
+        let best_of = |engine: BspEngine| -> Result<_, Box<dyn std::error::Error>> {
+            let mut best = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..3 {
+                let started = Instant::now();
+                let run = engine.run(&route_distributed, &ConnectedComponents::new())?;
+                best = best.min(started.elapsed().as_secs_f64());
+                outcome = Some(run);
+            }
+            Ok((outcome.expect("three runs produce an outcome"), best))
+        };
+        let (pair_sequential, cc_cold_sequential_seconds) = best_of(BspEngine::sequential())?;
+        let (pair_threaded, cc_cold_threaded_seconds) = best_of(BspEngine::threaded())?;
+        assert_eq!(
+            pair_sequential.values, pair_threaded.values,
+            "sequential and threaded CC must be bit-identical"
+        );
+        assert_eq!(
+            pair_sequential.stats, pair_threaded.stats,
+            "sequential and threaded CC counters must be identical"
+        );
+        rows.push(Measurement {
+            name: "cc_cold_sequential",
+            items: "labels",
+            count: route_distributed.num_vertices(),
+            seconds: cc_cold_sequential_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "cc_cold_threaded",
+            items: "labels",
+            count: route_distributed.num_vertices(),
+            seconds: cc_cold_threaded_seconds,
+            state_bytes: 0,
+        });
+        // Routed replica messages per second of *end-to-end* threaded cold
+        // CC wall time (computation supersteps included — the plane is
+        // never driven in isolation here), per the bench contract: a trend
+        // series for the whole superstep loop, not an isolated
+        // exchange-stage microbenchmark.
+        rows.push(Measurement {
+            name: "bsp_route_throughput",
+            items: "messages",
+            count: pair_threaded.stats.total_messages(),
+            seconds: cc_cold_threaded_seconds,
+            state_bytes: 0,
+        });
+        drop(route_distributed);
+        drop(route_partition);
+        drop(route_graph);
+
+        // Warm vs cold CC across one more churned mutation epoch, on the
+        // scale-selected churned distribution (best of three, symmetric
+        // with the warm measurement below, for the cc_warm_epoch/cc_cold
+        // gate).
         let engine = BspEngine::threaded();
-        let started = Instant::now();
-        let cold = engine.run(&incremental, &ConnectedComponents::new())?;
-        let cc_cold_seconds = started.elapsed().as_secs_f64();
+        let mut cc_cold_seconds = f64::INFINITY;
+        let mut cold = None;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let run = engine.run(&incremental, &ConnectedComponents::new())?;
+            cc_cold_seconds = cc_cold_seconds.min(started.elapsed().as_secs_f64());
+            cold = Some(run);
+        }
+        let cold = cold.expect("three runs produce an outcome");
         let prior = cold.values;
 
         let extra = ChurnStream::new(
@@ -319,9 +405,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             incremental.apply_mutations(batch)?;
             Ok(())
         })?;
-        let started = Instant::now();
-        let warm = engine.run_warm(&incremental, &warm_program, &prior)?;
-        let cc_warm_seconds = started.elapsed().as_secs_f64();
+        // Best of three, symmetric with the gated cold measurement above —
+        // the warm run is deterministic and non-mutating, so repetition
+        // only strips scheduler noise from the cc_warm_epoch/cc_cold gate.
+        let mut cc_warm_seconds = f64::INFINITY;
+        let mut warm = None;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let run = engine.run_warm(&incremental, &warm_program, &prior)?;
+            cc_warm_seconds = cc_warm_seconds.min(started.elapsed().as_secs_f64());
+            warm = Some(run);
+        }
+        let warm = warm.expect("three warm runs produce an outcome");
         let verify = engine.run(&incremental, &ConnectedComponents::new())?;
         assert_eq!(warm.values, verify.values, "warm CC must be bit-identical");
         rows.push(Measurement {

@@ -203,6 +203,34 @@ mod tests {
         assert!(parse_measurements("{}").is_err());
     }
 
+    /// The checked-in baseline must parse and keep gating the series CI
+    /// depends on — in particular the threaded-vs-sequential cap of the
+    /// parallel message plane (the gate is fail-closed: a missing
+    /// measurement or a dropped entry fails CI, this test catches the
+    /// dropped-entry half without a bench run).
+    #[test]
+    fn checked_in_baseline_gates_the_expected_ratios() {
+        let baseline_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join(".github")
+            .join("bench_baseline.json");
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap();
+        let caps = parse_baseline(&baseline).unwrap();
+        for (numerator, denominator, cap) in [
+            ("cc_cold_threaded", "cc_cold_sequential", 1.0),
+            ("cc_warm_epoch", "cc_cold", 1.0),
+            ("sssp_warm_epoch", "sssp_cold", 1.0),
+            ("bfs_warm_epoch", "bfs_cold", 1.0),
+        ] {
+            let gate = caps
+                .iter()
+                .find(|(a, b, _)| a == numerator && b == denominator)
+                .unwrap_or_else(|| panic!("baseline lost the {numerator}/{denominator} gate"));
+            assert!(gate.2 <= cap, "{numerator}/{denominator} cap loosened");
+        }
+    }
+
     #[test]
     fn gate_passes_within_cap_and_fails_beyond_it() {
         let dir = std::env::temp_dir().join("ebv_bench_gate_test");

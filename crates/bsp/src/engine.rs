@@ -1,12 +1,59 @@
 //! The bulk-synchronous-parallel execution engine.
 
 use ebv_graph::VertexId;
-use ebv_partition::PartitionId;
 
 use crate::error::{BspError, Result};
-use crate::program::{MessageTarget, SubgraphContext, SubgraphProgram};
+use crate::exchange::{self, MessagePlane};
+use crate::program::{SubgraphContext, SubgraphProgram};
 use crate::stats::{ExecutionStats, SuperstepStats, WorkerSuperstepStats};
 use crate::subgraph::DistributedGraph;
+
+/// Turns a captured panic payload into a readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "worker thread panicked".to_string(),
+        },
+    }
+}
+
+/// The per-worker slice of engine state one superstep works on.
+struct WorkerPart<'a, V, M> {
+    subgraph: &'a crate::subgraph::Subgraph,
+    routes: &'a crate::routing::WorkerRoutes,
+    values: &'a mut Vec<V>,
+    inbox: &'a mut exchange::Inbox<M>,
+    /// This worker's row of the gather-side shard matrix (messages routed
+    /// to it at the end of the previous superstep, by source worker).
+    inbound: &'a mut Vec<Vec<(u32, M)>>,
+    outbox: &'a mut Vec<exchange::OutboxEntry<M>>,
+    /// This worker's row of the scatter-side shard matrix (messages it
+    /// routes this superstep, by destination worker).
+    outbound: &'a mut Vec<Vec<(u32, M)>>,
+    /// `(work, changes, sent)` of the superstep.
+    result: &'a mut Option<(u64, usize, usize)>,
+}
+
+/// One worker's whole superstep: merge the shards routed to this worker at
+/// the end of the previous superstep into the flat inbox (gather), run the
+/// program over the subgraph (compute), then fan the outbox out into the
+/// worker's own row of per-destination shards along the precomputed routes
+/// (scatter). Touches only worker-local state, so the threaded mode runs
+/// it lock-free with a single spawn per worker per superstep.
+fn run_worker<P: SubgraphProgram>(
+    program: &P,
+    superstep: usize,
+    part: WorkerPart<'_, P::Value, P::Message>,
+) {
+    part.inbox.fill(part.inbound);
+    let mut ctx = SubgraphContext::new(part.subgraph, part.values, part.inbox.view(), part.outbox);
+    program.run_superstep(&mut ctx, superstep);
+    let (work, changes) = ctx.finish();
+    let sent = exchange::scatter(part.routes, part.subgraph, part.outbox, part.outbound);
+    *part.result = Some((work, changes, sent));
+}
 
 /// How the workers of a superstep are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,6 +183,12 @@ impl BspEngine {
                 message: "the distributed graph has no workers".to_string(),
             });
         }
+        let routing = distributed.routing();
+        debug_assert_eq!(
+            routing.epoch(),
+            distributed.epoch(),
+            "routing table is stale"
+        );
 
         // Cold runs seed from `initial_value`, warm runs from `warm_value`
         // over the previous epoch's outcome.
@@ -148,17 +201,16 @@ impl BspEngine {
             }
         };
 
-        // Per-worker local state.
+        // Per-worker local state; every message buffer lives in the plane
+        // and is reused across supersteps (steady-state supersteps perform
+        // no per-message allocation).
         let mut values: Vec<Vec<P::Value>> = distributed
             .subgraphs()
             .iter()
             .map(|sg| sg.vertices().iter().map(|&v| seed(v, sg)).collect())
             .collect();
-        let mut inboxes: Vec<Vec<Vec<P::Message>>> = distributed
-            .subgraphs()
-            .iter()
-            .map(|sg| vec![Vec::new(); sg.num_vertices()])
-            .collect();
+        let mut plane: MessagePlane<P::Message> =
+            MessagePlane::new(distributed.subgraphs().iter().map(|sg| sg.num_vertices()));
 
         let mutation = distributed.last_mutation();
         let mut stats = ExecutionStats {
@@ -174,92 +226,134 @@ impl BspEngine {
         let mut executed = 0usize;
 
         for superstep in 0..max_supersteps {
-            // --- Computation stage -------------------------------------------------
-            type WorkerOutput<M> = (Vec<(VertexId, M, MessageTarget)>, u64, usize);
-            let worker_outputs: Vec<WorkerOutput<P::Message>> = match self.mode {
-                ExecutionMode::Sequential => {
-                    let mut outputs = Vec::with_capacity(num_workers);
-                    for (worker, sg) in distributed.subgraphs().iter().enumerate() {
-                        let inbox = std::mem::replace(
-                            &mut inboxes[worker],
-                            vec![Vec::new(); sg.num_vertices()],
-                        );
-                        let mut ctx = SubgraphContext::new(sg, &mut values[worker], &inbox);
-                        program.run_superstep(&mut ctx, superstep);
-                        outputs.push(ctx.finish());
+            // --- Worker phase: gather + computation + scatter ----------------------
+            // Each worker merges the shards routed to it at the end of the
+            // previous superstep into its flat inbox (exchange phase two,
+            // pipelined into the next superstep so the whole superstep is
+            // one parallel phase), runs the program over its subgraph, and
+            // fans its outbox out into its own row of per-destination
+            // shards along the precomputed routes (exchange phase one) —
+            // purely worker-local state, so the threaded mode needs no
+            // locks and only one thread spawn per worker per superstep.
+            let mut results: Vec<Option<(u64, usize, usize)>> = vec![None; num_workers];
+            {
+                let parts = distributed
+                    .subgraphs()
+                    .iter()
+                    .zip(routing.worker_tables())
+                    .zip(values.iter_mut())
+                    .zip(plane.inboxes.iter_mut())
+                    .zip(plane.in_shards.iter_mut())
+                    .zip(plane.outboxes.iter_mut())
+                    .zip(plane.out_shards.iter_mut())
+                    .zip(results.iter_mut())
+                    .map(
+                        |(
+                            ((((((subgraph, routes), values), inbox), inbound), outbox), outbound),
+                            result,
+                        )| WorkerPart {
+                            subgraph,
+                            routes,
+                            values,
+                            inbox,
+                            inbound,
+                            outbox,
+                            outbound,
+                            result,
+                        },
+                    );
+                match self.mode {
+                    ExecutionMode::Sequential => {
+                        for part in parts {
+                            run_worker(program, superstep, part);
+                        }
                     }
-                    outputs
-                }
-                ExecutionMode::Threaded => {
-                    let subgraphs = distributed.subgraphs();
-                    let mut outputs: Vec<Option<WorkerOutput<P::Message>>> =
-                        (0..num_workers).map(|_| None).collect();
-                    std::thread::scope(|scope| {
-                        let mut handles = Vec::with_capacity(num_workers);
-                        for (((sg, values), inbox), output) in subgraphs
-                            .iter()
-                            .zip(values.iter_mut())
-                            .zip(inboxes.iter_mut())
-                            .zip(outputs.iter_mut())
-                        {
-                            handles.push(scope.spawn(move || {
-                                let taken =
-                                    std::mem::replace(inbox, vec![Vec::new(); sg.num_vertices()]);
-                                let mut ctx = SubgraphContext::new(sg, values, &taken);
-                                program.run_superstep(&mut ctx, superstep);
-                                *output = Some(ctx.finish());
-                            }));
+                    ExecutionMode::Threaded => {
+                        // Workers are independent within a superstep, so
+                        // they are chunked over at most
+                        // `available_parallelism` OS threads (each chunk
+                        // runs its workers in order — bit-identical to any
+                        // other schedule) instead of oversubscribing one
+                        // thread per worker.
+                        let threads = std::thread::available_parallelism()
+                            .map(std::num::NonZeroUsize::get)
+                            .unwrap_or(num_workers)
+                            .min(num_workers)
+                            .max(1);
+                        let chunk_size = num_workers.div_ceil(threads);
+                        let mut chunks: Vec<Vec<WorkerPart<'_, P::Value, P::Message>>> =
+                            Vec::with_capacity(threads);
+                        let mut rest: Vec<_> = parts.collect();
+                        while !rest.is_empty() {
+                            let tail = rest.split_off(chunk_size.min(rest.len()));
+                            chunks.push(rest);
+                            rest = tail;
                         }
-                        for handle in handles {
-                            handle.join().expect("worker thread panicked");
+                        let panicked = std::thread::scope(|scope| {
+                            let handles: Vec<_> = chunks
+                                .into_iter()
+                                .map(|chunk| {
+                                    scope.spawn(move || {
+                                        for part in chunk {
+                                            run_worker(program, superstep, part);
+                                        }
+                                    })
+                                })
+                                .collect();
+                            let mut panicked = None;
+                            for (index, handle) in handles.into_iter().enumerate() {
+                                if let Err(payload) = handle.join() {
+                                    panicked.get_or_insert((index, panic_message(payload)));
+                                }
+                            }
+                            panicked
+                        });
+                        if let Some((chunk_index, message)) = panicked {
+                            // The chunk ran its workers in order, so the
+                            // first result-less worker of the chunk is the
+                            // one that panicked.
+                            let worker = (chunk_index * chunk_size..num_workers)
+                                .find(|&w| results[w].is_none())
+                                .expect("a panicked chunk left its worker's result empty");
+                            return Err(BspError::WorkerPanicked { worker, message });
                         }
-                    });
-                    outputs
-                        .into_iter()
-                        .map(|o| o.expect("worker produced output"))
-                        .collect()
+                    }
                 }
-            };
+            }
 
-            // --- Communication stage -----------------------------------------------
+            // --- Exchange hand-off -------------------------------------------------
+            // Hand this superstep's scattered shards to the destination
+            // side (a `Vec` swap per cell, no message moves); destinations
+            // merge them at the start of the next superstep, in ascending
+            // source order, so values and counters are identical across
+            // modes. The per-destination delivery counts are the shard
+            // lengths — no message needs to be touched to count them.
+            plane.transpose();
+            let received: Vec<usize> = plane
+                .in_shards
+                .iter()
+                .map(|row| row.iter().map(Vec::len).sum())
+                .collect();
+
+            // --- Statistics / synchronization --------------------------------------
             let mut superstep_stats = SuperstepStats {
                 per_worker: vec![WorkerSuperstepStats::default(); num_workers],
             };
             let mut total_messages = 0usize;
             let mut total_changes = 0usize;
-            for (worker, (outbox, work, changes)) in worker_outputs.into_iter().enumerate() {
-                superstep_stats.per_worker[worker].work = work;
-                superstep_stats.per_worker[worker].updates = changes;
+            for (worker, result) in results.into_iter().enumerate() {
+                let (work, changes, sent) = result.expect("worker produced a result");
+                let per_worker = &mut superstep_stats.per_worker[worker];
+                per_worker.work = work;
+                per_worker.updates = changes;
+                per_worker.messages_sent = sent;
+                per_worker.messages_received = received[worker];
                 total_changes += changes;
-                for (vertex, message, target) in outbox {
-                    let master = distributed.replicas().master_of(vertex);
-                    for &replica in distributed.replicas().replicas_of(vertex) {
-                        if replica.index() == worker {
-                            continue;
-                        }
-                        let deliver = match target {
-                            MessageTarget::AllReplicas => true,
-                            MessageTarget::Master => replica == master,
-                            MessageTarget::Mirrors => replica != master,
-                        };
-                        if !deliver {
-                            continue;
-                        }
-                        let destination = distributed.subgraph(replica);
-                        let local = destination
-                            .local_index_of(vertex)
-                            .expect("replica table lists this partition");
-                        inboxes[replica.index()][local].push(message.clone());
-                        superstep_stats.per_worker[worker].messages_sent += 1;
-                        superstep_stats.per_worker[replica.index()].messages_received += 1;
-                        total_messages += 1;
-                    }
-                }
+                total_messages += sent;
             }
             stats.supersteps.push(superstep_stats);
             executed = superstep + 1;
 
-            // --- Synchronization stage / convergence check -------------------------
             if program.halt_on_quiescence() && total_messages == 0 && total_changes == 0 {
                 converged = true;
                 break;
@@ -270,17 +364,18 @@ impl BspEngine {
             return Err(BspError::DidNotConverge { max_supersteps });
         }
 
-        // Extract the global result from each vertex's master replica.
+        // Extract the global result from each vertex's master replica via
+        // the precomputed master-location array (no per-vertex hash
+        // probes).
         let global_values: Vec<P::Value> = (0..distributed.num_vertices())
-            .map(|raw| {
-                let v = VertexId::from(raw);
-                let master: PartitionId = distributed.replicas().master_of(v);
-                let sg = distributed.subgraph(master);
-                match sg.local_index_of(v) {
-                    Some(local) => values[master.index()][local].clone(),
-                    // Vertices absent from every subgraph report their seed
-                    // value (initial for cold runs, warm for warm runs).
-                    None => seed(v, sg),
+            .map(|raw| match routing.master_location(raw) {
+                Some((worker, local)) => values[worker][local].clone(),
+                // Vertices absent from every subgraph report their seed
+                // value (initial for cold runs, warm for warm runs).
+                None => {
+                    let v = VertexId::from(raw);
+                    let sg = distributed.subgraph(distributed.replicas().master_of(v));
+                    seed(v, sg)
                 }
             })
             .collect();
@@ -397,9 +492,56 @@ mod tests {
         let seq = run_min_label(&g, 4, BspEngine::sequential());
         let thr = run_min_label(&g, 4, BspEngine::threaded());
         assert_eq!(seq.values, thr.values);
-        assert_eq!(seq.stats.total_messages(), thr.stats.total_messages());
+        // The whole counter structure — per worker, per superstep — is
+        // bit-identical, not just the totals.
+        assert_eq!(seq.stats, thr.stats);
         assert_eq!(seq.supersteps, thr.supersteps);
         assert_eq!(BspEngine::threaded().mode(), ExecutionMode::Threaded);
+    }
+
+    /// A program whose worker 1 panics: the threaded engine must surface a
+    /// typed error instead of aborting the process.
+    struct PanicsOnWorker(usize);
+
+    impl SubgraphProgram for PanicsOnWorker {
+        type Value = u64;
+        type Message = u64;
+
+        fn name(&self) -> String {
+            "panics".to_string()
+        }
+
+        fn initial_value(&self, _vertex: VertexId, _subgraph: &Subgraph) -> u64 {
+            0
+        }
+
+        fn run_superstep(
+            &self,
+            ctx: &mut SubgraphContext<'_, u64, u64>,
+            _superstep: usize,
+        ) -> usize {
+            if ctx.subgraph().part().index() == self.0 {
+                panic!("worker {} exploded", self.0);
+            }
+            0
+        }
+    }
+
+    #[test]
+    fn threaded_worker_panics_surface_as_typed_errors() {
+        let g = named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let err = BspEngine::threaded()
+            .run(&dg, &PanicsOnWorker(1))
+            .unwrap_err();
+        match err {
+            BspError::WorkerPanicked { worker, message } => {
+                assert_eq!(worker, 1);
+                assert_eq!(message, "worker 1 exploded");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -33,6 +33,16 @@ pub enum BspError {
         /// The superstep limit that was hit.
         max_supersteps: usize,
     },
+    /// A worker thread panicked during the computation stage of a threaded
+    /// execution. The panic payload is captured instead of aborting the
+    /// embedding process.
+    WorkerPanicked {
+        /// The worker (partition index) whose thread panicked.
+        worker: usize,
+        /// The panic payload, stringified (`"worker thread panicked"` when
+        /// the payload is not a string).
+        message: String,
+    },
     /// An error bubbled up from the graph substrate.
     Graph(GraphError),
     /// An error bubbled up from the partitioning layer.
@@ -56,6 +66,9 @@ impl fmt::Display for BspError {
                     f,
                     "program did not converge within {max_supersteps} supersteps"
                 )
+            }
+            BspError::WorkerPanicked { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
             }
             BspError::Graph(err) => write!(f, "graph error: {err}"),
             BspError::Partition(err) => write!(f, "partition error: {err}"),
@@ -108,6 +121,14 @@ mod tests {
         }
         .to_string()
         .contains("workers"));
+        assert_eq!(
+            BspError::WorkerPanicked {
+                worker: 3,
+                message: "boom".into()
+            }
+            .to_string(),
+            "worker 3 panicked: boom"
+        );
     }
 
     #[test]

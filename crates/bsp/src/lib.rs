@@ -26,7 +26,9 @@
 
 mod engine;
 mod error;
+mod exchange;
 mod program;
+mod routing;
 mod stats;
 mod subgraph;
 pub mod warm;

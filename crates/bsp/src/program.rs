@@ -2,6 +2,7 @@
 
 use ebv_graph::VertexId;
 
+use crate::exchange::{InboxView, OutboxEntry};
 use crate::subgraph::Subgraph;
 
 /// Where a replica message should be delivered.
@@ -30,26 +31,39 @@ pub enum MessageTarget {
 pub struct SubgraphContext<'a, V, M> {
     subgraph: &'a Subgraph,
     values: &'a mut [V],
-    incoming: &'a [Vec<M>],
-    outbox: Vec<(VertexId, M, MessageTarget)>,
+    incoming: InboxView<'a, M>,
+    /// Engine-owned outbox buffer, reused across supersteps so queueing a
+    /// message performs no allocation in the steady state.
+    outbox: &'a mut Vec<OutboxEntry<M>>,
     work: u64,
     changes: usize,
 }
 
 impl<'a, V, M> SubgraphContext<'a, V, M> {
-    pub(crate) fn new(subgraph: &'a Subgraph, values: &'a mut [V], incoming: &'a [Vec<M>]) -> Self {
+    pub(crate) fn new(
+        subgraph: &'a Subgraph,
+        values: &'a mut [V],
+        incoming: InboxView<'a, M>,
+        outbox: &'a mut Vec<OutboxEntry<M>>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty());
         SubgraphContext {
             subgraph,
             values,
             incoming,
-            outbox: Vec::new(),
+            outbox,
             work: 0,
             changes: 0,
         }
     }
 
     /// The worker's local subgraph.
-    pub fn subgraph(&self) -> &Subgraph {
+    ///
+    /// The returned reference borrows the subgraph itself (lifetime `'a`),
+    /// not the context, so kernels can hold it across mutating context
+    /// calls — e.g. iterate a CSR neighbour slice while calling
+    /// [`set_value`](Self::set_value).
+    pub fn subgraph(&self) -> &'a Subgraph {
         self.subgraph
     }
 
@@ -73,38 +87,29 @@ impl<'a, V, M> SubgraphContext<'a, V, M> {
     /// The messages delivered to the local vertex at `local_index` during
     /// the previous communication stage.
     pub fn messages(&self, local_index: usize) -> &[M] {
-        &self.incoming[local_index]
+        self.incoming.messages(local_index)
     }
 
     /// Queues a message for delivery to every *other* replica of the local
     /// vertex at `local_index` during the communication stage.
     pub fn send_to_replicas(&mut self, local_index: usize, message: M) {
-        self.outbox.push((
-            self.subgraph.vertex_at(local_index),
-            message,
-            MessageTarget::AllReplicas,
-        ));
+        self.outbox
+            .push((local_index as u32, message, MessageTarget::AllReplicas));
     }
 
     /// Queues a message for the *master* replica of the local vertex at
     /// `local_index` (a no-op at routing time if this worker already is the
     /// master).
     pub fn send_to_master(&mut self, local_index: usize, message: M) {
-        self.outbox.push((
-            self.subgraph.vertex_at(local_index),
-            message,
-            MessageTarget::Master,
-        ));
+        self.outbox
+            .push((local_index as u32, message, MessageTarget::Master));
     }
 
     /// Queues a message for every *mirror* replica of the local vertex at
     /// `local_index`.
     pub fn send_to_mirrors(&mut self, local_index: usize, message: M) {
-        self.outbox.push((
-            self.subgraph.vertex_at(local_index),
-            message,
-            MessageTarget::Mirrors,
-        ));
+        self.outbox
+            .push((local_index as u32, message, MessageTarget::Mirrors));
     }
 
     /// Records `units` of computational work (typically edge traversals);
@@ -118,8 +123,10 @@ impl<'a, V, M> SubgraphContext<'a, V, M> {
         self.changes
     }
 
-    pub(crate) fn finish(self) -> (Vec<(VertexId, M, MessageTarget)>, u64, usize) {
-        (self.outbox, self.work, self.changes)
+    /// Releases the context, leaving the queued messages in the
+    /// engine-owned outbox; returns the work and change counters.
+    pub(crate) fn finish(self) -> (u64, usize) {
+        (self.work, self.changes)
     }
 }
 
@@ -184,6 +191,7 @@ pub trait SubgraphProgram: Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exchange::InboxView;
     use crate::subgraph::DistributedGraph;
     use ebv_graph::Graph;
     use ebv_partition::{EbvPartitioner, Partitioner};
@@ -196,9 +204,16 @@ mod tests {
         let sg = dg.subgraph(ebv_partition::PartitionId::new(0));
 
         let mut values = vec![10u64; sg.num_vertices()];
-        let incoming: Vec<Vec<u64>> = vec![vec![7], vec![], vec![]];
+        // Flat mailbox: vertex 0 received one message, the others none.
+        let msgs = [7u64];
+        let offsets = [0u32, 1, 1, 1];
+        let incoming = InboxView {
+            msgs: &msgs,
+            offsets: &offsets,
+        };
+        let mut outbox = Vec::new();
         let mut ctx: SubgraphContext<'_, u64, u64> =
-            SubgraphContext::new(sg, &mut values, &incoming);
+            SubgraphContext::new(sg, &mut values, incoming, &mut outbox);
 
         assert_eq!(*ctx.value(0), 10);
         assert_eq!(ctx.messages(0), &[7]);
@@ -210,17 +225,14 @@ mod tests {
         ctx.send_to_replicas(0, 99);
         ctx.send_to_master(1, 7);
         ctx.send_to_mirrors(2, 3);
-        let vertex0 = ctx.subgraph().vertex_at(0);
-        let vertex1 = ctx.subgraph().vertex_at(1);
-        let vertex2 = ctx.subgraph().vertex_at(2);
 
-        let (outbox, work, changes) = ctx.finish();
+        let (work, changes) = ctx.finish();
         assert_eq!(
             outbox,
             vec![
-                (vertex0, 99, MessageTarget::AllReplicas),
-                (vertex1, 7, MessageTarget::Master),
-                (vertex2, 3, MessageTarget::Mirrors),
+                (0, 99, MessageTarget::AllReplicas),
+                (1, 7, MessageTarget::Master),
+                (2, 3, MessageTarget::Mirrors),
             ]
         );
         assert_eq!(work, 5);

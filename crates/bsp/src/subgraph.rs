@@ -11,6 +11,7 @@ use ebv_graph::{Edge, Graph, VertexId};
 use ebv_partition::{PartitionId, PartitionResult};
 
 use crate::error::{BspError, Result};
+use crate::routing::RoutingTable;
 
 /// Cheap multiply-xor hasher for the vertex/edge-keyed maps on the
 /// assembly hot paths (`Subgraph::build`'s local index, the removal
@@ -59,10 +60,15 @@ pub struct Subgraph {
     vertices: Vec<VertexId>,
     local_index: IdHashMap<VertexId, usize>,
     is_master: Vec<bool>,
-    /// Local adjacency: out-neighbours by local index.
-    out_neighbors: Vec<Vec<usize>>,
-    /// Local adjacency: in-neighbours by local index.
-    in_neighbors: Vec<Vec<usize>>,
+    /// CSR out-adjacency: the out-neighbours of local vertex `l` are
+    /// `out_targets[out_offsets[l]..out_offsets[l + 1]]`, in local-edge
+    /// order. One offset array + one flat index array instead of a `Vec`
+    /// per vertex keeps the kernels' inner loops on contiguous memory.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    /// CSR in-adjacency (same layout).
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
 }
 
 impl Subgraph {
@@ -93,13 +99,32 @@ impl Subgraph {
             .iter()
             .map(|v| masters[v.index()] == part)
             .collect();
-        let mut out_neighbors = vec![Vec::new(); vertices.len()];
-        let mut in_neighbors = vec![Vec::new(); vertices.len()];
+        let n = vertices.len();
+        debug_assert!(u32::try_from(n).is_ok(), "local vertex count fits u32");
+        // CSR assembly: degree histogram, prefix sums, cursor fill in
+        // local-edge order (preserving the per-vertex neighbour order of
+        // the former Vec-of-Vecs layout).
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for e in &edges {
+            out_offsets[local_index[&e.src] + 1] += 1;
+            in_offsets[local_index[&e.dst] + 1] += 1;
+        }
+        for i in 1..=n {
+            out_offsets[i] += out_offsets[i - 1];
+            in_offsets[i] += in_offsets[i - 1];
+        }
+        let mut out_targets = vec![0u32; edges.len()];
+        let mut in_targets = vec![0u32; edges.len()];
+        let mut out_cursor = out_offsets[..n].to_vec();
+        let mut in_cursor = in_offsets[..n].to_vec();
         for e in &edges {
             let s = local_index[&e.src];
             let d = local_index[&e.dst];
-            out_neighbors[s].push(d);
-            in_neighbors[d].push(s);
+            out_targets[out_cursor[s] as usize] = d as u32;
+            out_cursor[s] += 1;
+            in_targets[in_cursor[d] as usize] = s as u32;
+            in_cursor[d] += 1;
         }
         Subgraph {
             part,
@@ -108,8 +133,10 @@ impl Subgraph {
             vertices,
             local_index,
             is_master,
-            out_neighbors,
-            in_neighbors,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
         }
     }
 
@@ -162,14 +189,20 @@ impl Subgraph {
         self.is_master[local_index]
     }
 
-    /// Local indices of the out-neighbours of the vertex at `local_index`.
-    pub fn out_neighbors(&self, local_index: usize) -> &[usize] {
-        &self.out_neighbors[local_index]
+    /// Local indices of the out-neighbours of the vertex at `local_index`,
+    /// as a contiguous CSR slice in local-edge order.
+    #[inline]
+    pub fn out_neighbors(&self, local_index: usize) -> &[u32] {
+        &self.out_targets
+            [self.out_offsets[local_index] as usize..self.out_offsets[local_index + 1] as usize]
     }
 
-    /// Local indices of the in-neighbours of the vertex at `local_index`.
-    pub fn in_neighbors(&self, local_index: usize) -> &[usize] {
-        &self.in_neighbors[local_index]
+    /// Local indices of the in-neighbours of the vertex at `local_index`,
+    /// as a contiguous CSR slice in local-edge order.
+    #[inline]
+    pub fn in_neighbors(&self, local_index: usize) -> &[u32] {
+        &self.in_targets
+            [self.in_offsets[local_index] as usize..self.in_offsets[local_index + 1] as usize]
     }
 
     /// Iterator over the local indices of master vertices.
@@ -321,6 +354,10 @@ pub struct DistributedGraph {
     isolated_per_part: Vec<Vec<VertexId>>,
     /// Counters of the most recent mutation epoch (zeroed on fresh builds).
     last_mutation: MutationStats,
+    /// Precomputed message routes and master locations, maintained in
+    /// lockstep with the subgraphs (epoch-versioned; see
+    /// [`crate::routing`]).
+    routing: RoutingTable,
 }
 
 impl DistributedGraph {
@@ -479,6 +516,12 @@ impl DistributedGraph {
     /// Zeroed for fresh builds and after an empty (no-op) batch.
     pub fn last_mutation(&self) -> MutationStats {
         self.last_mutation
+    }
+
+    /// The precomputed routing table the engine's communication stage and
+    /// final value extraction run on.
+    pub(crate) fn routing(&self) -> &RoutingTable {
+        &self.routing
     }
 
     /// Absorbs one batch of edge mutations in place, incrementally:
@@ -726,6 +769,16 @@ impl DistributedGraph {
         self.num_vertices = n;
         self.num_edges = self.subgraphs.iter().map(|sg| sg.edges.len()).sum();
         self.epoch += 1;
+        // Bring the routing table in line: rebuilt workers get fresh route
+        // tables, affected vertices are re-routed inside untouched holders.
+        self.routing.apply_update(
+            &self.subgraphs,
+            &self.replicas,
+            &touched,
+            &affected,
+            n,
+            self.epoch,
+        );
         self.last_mutation = MutationStats {
             workers_touched,
             edges_rebuilt,
@@ -795,7 +848,7 @@ fn assemble(
     let vertex_cut = owned_per_part
         .iter()
         .all(|owned| owned.iter().all(|&flag| flag));
-    let subgraphs = edges_per_part
+    let subgraphs: Vec<Subgraph> = edges_per_part
         .into_iter()
         .zip(owned_per_part)
         .enumerate()
@@ -810,9 +863,11 @@ fn assemble(
         })
         .collect();
 
+    let replicas = ReplicaTable { master, replicas };
+    let routing = RoutingTable::build(&subgraphs, &replicas, n, 0);
     DistributedGraph {
         subgraphs,
-        replicas: ReplicaTable { master, replicas },
+        replicas,
         num_vertices: n,
         num_edges,
         epoch: 0,
@@ -820,6 +875,7 @@ fn assemble(
         incident_count,
         isolated_per_part,
         last_mutation: MutationStats::default(),
+        routing,
     }
 }
 
@@ -1168,6 +1224,10 @@ mod tests {
             assert_eq!(sa.edges(), sb.edges());
             assert_eq!(sa.vertices(), sb.vertices());
         }
+        // The incrementally maintained routing table must be structurally
+        // identical to the from-scratch rebuild (routing staleness after
+        // `apply_mutations` would surface here).
+        assert_eq!(a.routing(), b.routing(), "routing tables diverged");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Property tests for the message plane (PR 5 tentpole): `Sequential` and
+//! `Threaded` execution must be **bit-identical** — same per-vertex values
+//! *and* the same [`ExecutionStats`] (work, updates, messages sent and
+//! received per worker per superstep) — for all four algorithms, cold and
+//! warm, over churned R-MAT distributions.
+//!
+//! The threaded path is a two-phase partitioned exchange over the
+//! precomputed routing table; any divergence in message routing, merge
+//! order or routing-table staleness after `apply_mutations` (the warm
+//! re-runs mutate the distribution between executions) shows up here as a
+//! value or counter mismatch.
+
+use proptest::prelude::*;
+
+use ebv_algorithms::{
+    BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
+    IncrementalPageRank, IncrementalSssp, SingleSourceShortestPath,
+};
+use ebv_bsp::{BspEngine, BspOutcome, DistributedGraph, SubgraphProgram};
+use ebv_dynamic::{ChurnStream, EventPipeline};
+use ebv_graph::VertexId;
+use ebv_partition::EbvPartitioner;
+use ebv_stream::{EdgeSource, RmatEdgeStream};
+
+/// Runs `program` cold under both modes and asserts bit-equality of values
+/// and of the whole counter structure.
+fn assert_modes_agree<P>(distributed: &DistributedGraph, program: &P) -> BspOutcome<P::Value>
+where
+    P: SubgraphProgram,
+    P::Value: PartialEq,
+{
+    let seq = BspEngine::sequential().run(distributed, program).unwrap();
+    let thr = BspEngine::threaded().run(distributed, program).unwrap();
+    assert!(
+        seq.values == thr.values,
+        "{}: values diverged",
+        program.name()
+    );
+    assert_eq!(seq.stats, thr.stats, "{}: stats diverged", program.name());
+    assert_eq!(seq.supersteps, thr.supersteps);
+    seq
+}
+
+/// Same for a warm start from `prior`.
+fn assert_modes_agree_warm<P>(
+    distributed: &DistributedGraph,
+    program: &P,
+    prior: &[P::Value],
+) -> BspOutcome<P::Value>
+where
+    P: SubgraphProgram,
+    P::Value: PartialEq,
+{
+    let seq = BspEngine::sequential()
+        .run_warm(distributed, program, prior)
+        .unwrap();
+    let thr = BspEngine::threaded()
+        .run_warm(distributed, program, prior)
+        .unwrap();
+    assert!(
+        seq.values == thr.values,
+        "{}: warm values diverged",
+        program.name()
+    );
+    assert_eq!(
+        seq.stats,
+        thr.stats,
+        "{}: warm stats diverged",
+        program.name()
+    );
+    assert_eq!(seq.supersteps, thr.supersteps);
+    seq
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cold and warm runs of CC, SSSP, BFS and PageRank produce
+    /// bit-identical values and per-worker message counters in both
+    /// execution modes, across churned mutation epochs (the warm re-runs
+    /// exercise the incrementally maintained routing table).
+    #[test]
+    fn sequential_and_threaded_are_bit_identical_cold_and_warm(
+        scale in 5u32..8,
+        num_edges in 80usize..400,
+        seed in 0u64..500,
+        churn in 1u32..6,
+        p in 2usize..6,
+        batch_size in 32usize..160,
+    ) {
+        let source = VertexId::new(0);
+        let stream = RmatEdgeStream::new(scale, num_edges).with_seed(seed);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(p))
+            .unwrap();
+        let mut distributed =
+            DistributedGraph::build_streaming(p, Some(1 << scale), Vec::new()).unwrap();
+
+        // Prior outcomes carried warm across the churned epochs.
+        let mut labels = assert_modes_agree(&distributed, &ConnectedComponents::new()).values;
+        let mut distances =
+            assert_modes_agree(&distributed, &SingleSourceShortestPath::new(source)).values;
+        let mut depths = assert_modes_agree(&distributed, &BreadthFirstSearch::new(source)).values;
+
+        let churned = ChurnStream::new(stream, churn as f64 / 10.0)
+            .unwrap()
+            .with_seed(seed + 1);
+        let mut epochs = 0usize;
+        EventPipeline::new(batch_size)
+            .run_applied(
+                churned,
+                &mut partitioner,
+                &mut distributed,
+                |dg, batch, _, _| {
+                    // Cold equivalence on the mutated distribution (the
+                    // routing table was updated incrementally).
+                    assert_modes_agree(dg, &ConnectedComponents::new());
+                    // Warm equivalence for every warm-capable program.
+                    let cc = IncrementalConnectedComponents::from_batch(&labels, batch);
+                    labels = assert_modes_agree_warm(dg, &cc, &labels).values;
+                    let sssp = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+                    distances = assert_modes_agree_warm(dg, &sssp, &distances).values;
+                    let bfs = IncrementalBfs::from_batch(source, &depths, batch);
+                    depths = assert_modes_agree_warm(dg, &bfs, &depths).values;
+                    epochs += 1;
+                    Ok(())
+                },
+            )
+            .unwrap();
+        prop_assert!(epochs >= 1, "the churned stream produced no epoch");
+
+        // PageRank exercises Master/Mirrors targets and f64 message
+        // folding, where even a reordered merge would change the bits.
+        let pr = IncrementalPageRank::from_distributed(&distributed, 8);
+        let cold = assert_modes_agree(&distributed, &pr);
+        assert_modes_agree_warm(&distributed, &pr, &cold.values);
+    }
+}

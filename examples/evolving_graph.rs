@@ -28,6 +28,11 @@
 //! ```text
 //! cargo run --release --example evolving_graph
 //! ```
+//!
+//! `EBV_MODE=sequential` runs every BSP execution on the calling thread;
+//! the default (`EBV_MODE=threaded` or unset) uses one thread per worker,
+//! exercising the parallel two-phase message exchange end-to-end. Both
+//! modes produce bit-identical values and counters.
 
 use std::time::{Duration, Instant};
 
@@ -56,8 +61,22 @@ const PR_ITERATIONS: usize = 60;
 /// seeded from the previous epoch's ranks.
 const PR_WARM_ITERATIONS: usize = 15;
 
+/// The engine selected by the `EBV_MODE` environment switch (used by CI to
+/// drive the parallel exchange path end-to-end): `sequential` or the
+/// default `threaded`. Any other value is rejected loudly rather than
+/// silently falling back, so a misspelt mode cannot fake a measurement.
+fn engine_from_env() -> BspEngine {
+    match std::env::var("EBV_MODE") {
+        Ok(mode) if mode == "sequential" => BspEngine::sequential(),
+        Ok(mode) if mode == "threaded" => BspEngine::threaded(),
+        Err(std::env::VarError::NotPresent) => BspEngine::threaded(),
+        Ok(mode) => panic!("EBV_MODE must be `sequential` or `threaded`, got {mode:?}"),
+        Err(err) => panic!("EBV_MODE is not valid UTF-8: {err}"),
+    }
+}
+
 fn cc(distributed: &DistributedGraph) -> Vec<u64> {
-    BspEngine::threaded()
+    engine_from_env()
         .run(distributed, &ConnectedComponents::new())
         .expect("CC converges")
         .values
@@ -96,7 +115,8 @@ fn assert_metrics_recompute_exactly(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "evolving graph: {NUM_EDGES} R-MAT arrivals over 2^{SCALE} vertices, churn {CHURN}, \
-         {WORKERS} workers, batches of {BATCH}\n"
+         {WORKERS} workers, batches of {BATCH}, {:?} engine\n",
+        engine_from_env().mode(),
     );
 
     // ── Phase 1: churned ingestion through `run_applied` — one
@@ -108,7 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // distribution and the partitioner agree on it at every epoch.
     let mut distributed = DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())?;
     let churn = ChurnStream::new(stream, CHURN)?.with_seed(SEED);
-    let engine = BspEngine::threaded();
+    let engine = engine_from_env();
     let source = VertexId::new(SOURCE);
 
     // Values of the empty distribution: every vertex its own component,
