@@ -1,0 +1,222 @@
+//! The CI trace-smoke gate: validates the Chrome-trace JSON (and optional
+//! Prometheus metrics snapshot) emitted by `EBV_TRACE=... evolving_graph`
+//! and exits non-zero when the telemetry plane stopped producing the spans
+//! it promises — so the observability surface cannot silently rot.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ebv-bench --bin trace_check -- \
+//!     trace.json [metrics.prom]
+//! ```
+//!
+//! The vendored serde stand-in has no JSON backend, so the trace is read
+//! with the same minimal key scanner as `bench_gate` — enough of a parser
+//! for the flat event schema `ebv-obs` emits. Missing files, zero events,
+//! a missing phase, or a malformed event all fail the check — it is
+//! fail-closed.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Every phase the `evolving_graph` example must leave at least one span
+/// for: the BSP superstep quartet, the mutation path, and the warm-start
+/// invalidation hooks. (`chunk_ingest` is a streaming-pipeline phase and is
+/// deliberately not required here.)
+const REQUIRED_PHASES: [&str; 8] = [
+    "gather",
+    "compute",
+    "scatter",
+    "barrier",
+    "mutation_apply",
+    "routing_patch",
+    "warm_invalidation",
+    "epoch_apply",
+];
+
+/// Metric families the Prometheus snapshot must expose.
+const REQUIRED_METRICS: [&str; 3] = [
+    "ebv_bsp_supersteps_total",
+    "ebv_mutation_epochs_total",
+    "ebv_phase_compute_seconds_bucket",
+];
+
+/// Extracts every string or number value keyed by `key` from a flat JSON
+/// document, in document order — the `bench_gate` scanner, reused for the
+/// trace-event schema (no escapes, no nesting of the scanned keys).
+fn scan_values(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\":");
+    let mut values = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = rest[at + needle.len()..].trim_start();
+        let value = if let Some(quoted) = rest.strip_prefix('"') {
+            let end = quoted.find('"').unwrap_or(quoted.len());
+            quoted[..end].to_string()
+        } else {
+            rest.split(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+                .next()
+                .unwrap_or("")
+                .to_string()
+        };
+        values.push(value);
+    }
+    values
+}
+
+/// Validates a Chrome trace-event document. Returns the event count.
+fn check_trace(json: &str) -> Result<usize, String> {
+    if !json.contains("\"traceEvents\"") {
+        return Err("trace is missing the \"traceEvents\" array".to_string());
+    }
+    let names = scan_values(json, "name");
+    if names.is_empty() {
+        return Err("trace contains no events".to_string());
+    }
+    let phs = scan_values(json, "ph");
+    let ts = scan_values(json, "ts");
+    let durs = scan_values(json, "dur");
+    if phs.len() != names.len() || ts.len() != names.len() || durs.len() != names.len() {
+        return Err(format!(
+            "malformed trace: {} names vs {} ph vs {} ts vs {} dur values",
+            names.len(),
+            phs.len(),
+            ts.len(),
+            durs.len()
+        ));
+    }
+    if let Some(ph) = phs.iter().find(|ph| ph.as_str() != "X") {
+        return Err(format!("unexpected event phase type {ph:?} (want \"X\")"));
+    }
+    for (key, values) in [("ts", &ts), ("dur", &durs)] {
+        for value in values {
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| format!("unparseable {key} value {value:?}"))?;
+            if key == "dur" && parsed == 0 {
+                return Err("zero-duration event (durations are clamped >= 1us)".to_string());
+            }
+        }
+    }
+    for phase in REQUIRED_PHASES {
+        if !names.iter().any(|n| n == phase) {
+            return Err(format!("trace has no {phase:?} span"));
+        }
+    }
+    Ok(names.len())
+}
+
+/// Validates the Prometheus text snapshot.
+fn check_metrics(text: &str) -> Result<(), String> {
+    if !text.contains("# TYPE") {
+        return Err("metrics snapshot has no # TYPE lines".to_string());
+    }
+    for metric in REQUIRED_METRICS {
+        if !text.contains(metric) {
+            return Err(format!("metrics snapshot is missing {metric}"));
+        }
+    }
+    Ok(())
+}
+
+fn run(trace_path: &Path, metrics_path: Option<&Path>) -> Result<(), String> {
+    let trace = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
+    let events = check_trace(&trace)?;
+    println!(
+        "trace ok: {} ({events} events, all {} required phases present)",
+        trace_path.display(),
+        REQUIRED_PHASES.len()
+    );
+    if let Some(metrics_path) = metrics_path {
+        let metrics = std::fs::read_to_string(metrics_path)
+            .map_err(|e| format!("cannot read {}: {e}", metrics_path.display()))?;
+        check_metrics(&metrics)?;
+        println!("metrics ok: {}", metrics_path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args_os().skip(1);
+    let Some(trace) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [metrics.prom]");
+        return ExitCode::FAILURE;
+    };
+    let metrics = args.next();
+    match run(Path::new(&trace), metrics.as_deref().map(Path::new)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, ts: u64, dur: u64) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"bsp\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":1,\"tid\":0,\"args\":{{\"epoch\":0,\"superstep\":0,\"worker\":0}}}}"
+        )
+    }
+
+    fn trace_with(names: &[&str]) -> String {
+        let events: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| event(name, i as u64 * 10, 2))
+            .collect();
+        format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    }
+
+    #[test]
+    fn complete_trace_passes() {
+        let json = trace_with(&REQUIRED_PHASES);
+        assert_eq!(check_trace(&json).unwrap(), REQUIRED_PHASES.len());
+    }
+
+    #[test]
+    fn missing_phase_fails() {
+        let json = trace_with(&REQUIRED_PHASES[..7]);
+        let err = check_trace(&json).unwrap_err();
+        assert!(err.contains("epoch_apply"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_fails() {
+        assert!(check_trace("{\"traceEvents\":[]}").is_err());
+        assert!(check_trace("not json at all").is_err());
+    }
+
+    #[test]
+    fn zero_duration_fails() {
+        let mut names: Vec<&str> = REQUIRED_PHASES.to_vec();
+        names.push("gather");
+        let json = trace_with(&names).replace("\"dur\":2", "\"dur\":0");
+        let err = check_trace(&json).unwrap_err();
+        assert!(err.contains("zero-duration"), "{err}");
+    }
+
+    #[test]
+    fn wrong_event_type_fails() {
+        let json = trace_with(&REQUIRED_PHASES).replace("\"ph\":\"X\"", "\"ph\":\"B\"");
+        assert!(check_trace(&json).is_err());
+    }
+
+    #[test]
+    fn metrics_snapshot_is_checked() {
+        let good = "# TYPE ebv_bsp_supersteps_total counter\n\
+                    ebv_bsp_supersteps_total 12\n\
+                    # TYPE ebv_mutation_epochs_total counter\n\
+                    ebv_mutation_epochs_total 3\n\
+                    # TYPE ebv_phase_compute_seconds histogram\n\
+                    ebv_phase_compute_seconds_bucket{le=\"+Inf\"} 9\n";
+        check_metrics(good).unwrap();
+        assert!(check_metrics("# TYPE only\n").is_err());
+        assert!(check_metrics("ebv_bsp_supersteps_total 1\n").is_err());
+    }
+}

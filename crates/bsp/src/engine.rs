@@ -1,6 +1,7 @@
 //! The bulk-synchronous-parallel execution engine.
 
 use ebv_graph::VertexId;
+use ebv_obs::{NoopRecorder, Phase, Recorder, SpanCtx};
 
 use crate::error::{BspError, Result};
 use crate::exchange::{self, MessagePlane};
@@ -42,16 +43,31 @@ struct WorkerPart<'a, V, M> {
 /// worker's own row of per-destination shards along the precomputed routes
 /// (scatter). Touches only worker-local state, so the threaded mode runs
 /// it lock-free with a single spawn per worker per superstep.
-fn run_worker<P: SubgraphProgram>(
+fn run_worker<P: SubgraphProgram, R: Recorder>(
     program: &P,
     superstep: usize,
+    epoch: u32,
+    recorder: &R,
     part: WorkerPart<'_, P::Value, P::Message>,
 ) {
+    let span_ctx = SpanCtx {
+        epoch,
+        superstep: superstep as u32,
+        worker: part.subgraph.part().index() as u32,
+    };
+    let started = recorder.start();
     part.inbox.fill(part.inbound);
+    recorder.span(started, span_ctx, Phase::Gather);
+
+    let started = recorder.start();
     let mut ctx = SubgraphContext::new(part.subgraph, part.values, part.inbox.view(), part.outbox);
     program.run_superstep(&mut ctx, superstep);
     let (work, changes) = ctx.finish();
+    recorder.span(started, span_ctx, Phase::Compute);
+
+    let started = recorder.start();
     let sent = exchange::scatter(part.routes, part.subgraph, part.outbox, part.outbound);
+    recorder.span(started, span_ctx, Phase::Scatter);
     *part.result = Some((work, changes, sent));
 }
 
@@ -142,7 +158,27 @@ impl BspEngine {
         distributed: &DistributedGraph,
         program: &P,
     ) -> Result<BspOutcome<P::Value>> {
-        self.execute(distributed, program, None)
+        self.execute(distributed, program, None, &NoopRecorder)
+    }
+
+    /// [`run`](BspEngine::run) with telemetry: phase spans (gather,
+    /// compute, scatter per worker; barrier per superstep) and message
+    /// counters are reported through `recorder`.
+    ///
+    /// Instrumentation does not perturb execution: values and
+    /// [`ExecutionStats`] are bit-identical to an uninstrumented run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::DidNotConverge`] when a quiescence-halting program
+    /// exhausts [`SubgraphProgram::max_supersteps`].
+    pub fn run_with<P: SubgraphProgram, R: Recorder>(
+        &self,
+        distributed: &DistributedGraph,
+        program: &P,
+        recorder: &R,
+    ) -> Result<BspOutcome<P::Value>> {
+        self.execute(distributed, program, None, recorder)
     }
 
     /// Executes `program` warm-started from `prior` — the global per-vertex
@@ -167,14 +203,33 @@ impl BspEngine {
         program: &P,
         prior: &[P::Value],
     ) -> Result<BspOutcome<P::Value>> {
-        self.execute(distributed, program, Some(prior))
+        self.execute(distributed, program, Some(prior), &NoopRecorder)
     }
 
-    fn execute<P: SubgraphProgram>(
+    /// [`run_warm`](BspEngine::run_warm) with telemetry — see
+    /// [`run_with`](BspEngine::run_with) for the spans and the
+    /// determinism guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::DidNotConverge`] when a quiescence-halting program
+    /// exhausts [`SubgraphProgram::max_supersteps`].
+    pub fn run_warm_with<P: SubgraphProgram, R: Recorder>(
+        &self,
+        distributed: &DistributedGraph,
+        program: &P,
+        prior: &[P::Value],
+        recorder: &R,
+    ) -> Result<BspOutcome<P::Value>> {
+        self.execute(distributed, program, Some(prior), recorder)
+    }
+
+    fn execute<P: SubgraphProgram, R: Recorder>(
         &self,
         distributed: &DistributedGraph,
         program: &P,
         prior: Option<&[P::Value]>,
+        recorder: &R,
     ) -> Result<BspOutcome<P::Value>> {
         let num_workers = distributed.num_workers();
         if num_workers == 0 {
@@ -224,6 +279,9 @@ impl BspEngine {
         let max_supersteps = program.max_supersteps();
         let mut converged = false;
         let mut executed = 0usize;
+        let epoch = distributed.epoch() as u32;
+        // Engine-side (barrier) spans use worker == p by convention.
+        let engine_worker = num_workers as u32;
 
         for superstep in 0..max_supersteps {
             // --- Worker phase: gather + computation + scatter ----------------------
@@ -265,7 +323,7 @@ impl BspEngine {
                 match self.mode {
                     ExecutionMode::Sequential => {
                         for part in parts {
-                            run_worker(program, superstep, part);
+                            run_worker(program, superstep, epoch, recorder, part);
                         }
                     }
                     ExecutionMode::Threaded => {
@@ -295,7 +353,7 @@ impl BspEngine {
                                 .map(|chunk| {
                                     scope.spawn(move || {
                                         for part in chunk {
-                                            run_worker(program, superstep, part);
+                                            run_worker(program, superstep, epoch, recorder, part);
                                         }
                                     })
                                 })
@@ -328,6 +386,7 @@ impl BspEngine {
             // source order, so values and counters are identical across
             // modes. The per-destination delivery counts are the shard
             // lengths — no message needs to be touched to count them.
+            let barrier_started = recorder.start();
             plane.transpose();
             let received: Vec<usize> = plane
                 .in_shards
@@ -353,6 +412,17 @@ impl BspEngine {
             }
             stats.supersteps.push(superstep_stats);
             executed = superstep + 1;
+            recorder.span(
+                barrier_started,
+                SpanCtx {
+                    epoch,
+                    superstep: superstep as u32,
+                    worker: engine_worker,
+                },
+                Phase::Barrier,
+            );
+            recorder.counter_add("ebv_bsp_messages_total", total_messages as u64);
+            recorder.counter_add("ebv_bsp_supersteps_total", 1);
 
             if program.halt_on_quiescence() && total_messages == 0 && total_changes == 0 {
                 converged = true;

@@ -105,6 +105,30 @@ impl ExecutionStats {
     }
 }
 
+impl fmt::Display for ExecutionStats {
+    /// One-line summary: supersteps, messages, work units, workers, epoch
+    /// and (when non-zero) the incremental-assembly counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} supersteps, {} messages, {} work units over {} workers (epoch {}",
+            self.num_supersteps(),
+            self.total_messages(),
+            self.total_work(),
+            self.num_workers,
+            self.epoch,
+        )?;
+        if self.workers_touched > 0 || self.edges_rebuilt > 0 {
+            write!(
+                f,
+                ", {} workers touched, {} edges rebuilt",
+                self.workers_touched, self.edges_rebuilt
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// Converts counted work and messages into modeled seconds.
 ///
 /// The absolute constants are calibrated to commodity-cluster magnitudes
@@ -276,6 +300,22 @@ mod tests {
         assert!((s.message_max_mean_ratio() - 20.0 / 15.0).abs() < 1e-12);
         assert_eq!(s.supersteps[0].messages(), 30);
         assert_eq!(s.supersteps[0].updates(), 7);
+    }
+
+    #[test]
+    fn execution_stats_display_is_one_line() {
+        let mut s = stats_two_workers();
+        assert_eq!(
+            s.to_string(),
+            "2 supersteps, 30 messages, 410 work units over 2 workers (epoch 0)"
+        );
+        s.epoch = 3;
+        s.workers_touched = 1;
+        s.edges_rebuilt = 42;
+        let line = s.to_string();
+        assert!(line.contains("epoch 3"));
+        assert!(line.contains("1 workers touched, 42 edges rebuilt"));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

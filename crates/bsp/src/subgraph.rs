@@ -4,10 +4,12 @@
 
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use ebv_graph::{Edge, Graph, VertexId};
+use ebv_obs::{NoopRecorder, Phase, Recorder, SpanCtx};
 use ebv_partition::{PartitionId, PartitionResult};
 
 use crate::error::{BspError, Result};
@@ -315,7 +317,7 @@ impl MutationBatch {
 /// kept as-is. `workers_touched == 0` therefore identifies a no-op epoch
 /// and `workers_touched < p` quantifies the locality win over the
 /// full-reassembly path that rebuilds every worker.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct MutationStats {
     /// Workers whose subgraph was re-built this epoch.
     pub workers_touched: usize,
@@ -325,6 +327,10 @@ pub struct MutationStats {
     pub edges_added: usize,
     /// Edge copies the batch removed.
     pub edges_removed: usize,
+    /// Wall-clock seconds the epoch took to apply (0.0 for no-op epochs).
+    /// The only non-deterministic field: everything a program execution can
+    /// observe stays bit-identical run to run.
+    pub apply_seconds: f64,
 }
 
 /// A graph distributed over `p` workers: the per-worker subgraphs plus the
@@ -557,6 +563,26 @@ impl DistributedGraph {
     /// [`BspError::PartitionMismatch`] when a mutation names a partition
     /// out of range. On error the distribution is left unchanged.
     pub fn apply_mutations(&mut self, batch: &MutationBatch) -> Result<MutationStats> {
+        self.apply_mutations_with(batch, &NoopRecorder)
+    }
+
+    /// [`apply_mutations`](Self::apply_mutations) with telemetry: the whole
+    /// epoch is recorded as a `mutation_apply` span and the incremental
+    /// routing-table maintenance inside it as a `routing_patch` span (both
+    /// on the engine-side track, `worker == p`), plus mutation counters.
+    ///
+    /// Instrumentation does not perturb the result: every deterministic
+    /// field of the returned [`MutationStats`] and the distribution itself
+    /// are bit-identical to an uninstrumented call.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`apply_mutations`](Self::apply_mutations).
+    pub fn apply_mutations_with<R: Recorder>(
+        &mut self,
+        batch: &MutationBatch,
+        recorder: &R,
+    ) -> Result<MutationStats> {
         if batch.is_empty() {
             self.last_mutation = MutationStats::default();
             return Ok(self.last_mutation);
@@ -568,6 +594,10 @@ impl DistributedGraph {
                     .to_string(),
             });
         }
+        // `apply_seconds` is always measured (one clock pair per epoch);
+        // the span is only timed when a real recorder is attached.
+        let wall_started = Instant::now();
+        let span_started = recorder.start();
         let p = self.num_workers();
         for &(_, part) in batch.removed().iter().chain(batch.added()) {
             if part.index() >= p {
@@ -771,6 +801,12 @@ impl DistributedGraph {
         self.epoch += 1;
         // Bring the routing table in line: rebuilt workers get fresh route
         // tables, affected vertices are re-routed inside untouched holders.
+        let span_ctx = SpanCtx {
+            epoch: self.epoch as u32,
+            superstep: 0,
+            worker: p as u32,
+        };
+        let patch_started = recorder.start();
         self.routing.apply_update(
             &self.subgraphs,
             &self.replicas,
@@ -779,12 +815,22 @@ impl DistributedGraph {
             n,
             self.epoch,
         );
+        recorder.span(patch_started, span_ctx, Phase::RoutingPatch);
         self.last_mutation = MutationStats {
             workers_touched,
             edges_rebuilt,
             edges_added: batch.added().len(),
             edges_removed: batch.removed().len(),
+            apply_seconds: wall_started.elapsed().as_secs_f64(),
         };
+        recorder.span(span_started, span_ctx, Phase::MutationApply);
+        recorder.counter_add("ebv_mutation_epochs_total", 1);
+        recorder.counter_add("ebv_mutation_edges_added_total", batch.added().len() as u64);
+        recorder.counter_add(
+            "ebv_mutation_edges_removed_total",
+            batch.removed().len() as u64,
+        );
+        recorder.counter_add("ebv_mutation_edges_rebuilt_total", edges_rebuilt as u64);
         Ok(self.last_mutation)
     }
 }

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use ebv_bsp::{DistributedGraph, MutationBatch, MutationStats};
 use ebv_graph::Edge;
+use ebv_obs::{NoopRecorder, Phase, Recorder, SpanCtx};
 use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionId, PartitionMetrics};
 
 use crate::error::{DynamicError, Result};
@@ -154,14 +155,61 @@ impl EventPipeline {
         source: S,
         partitioner: &mut DynamicPartitioner,
         distributed: &mut DistributedGraph,
-        mut on_epoch: F,
+        on_epoch: F,
     ) -> Result<EventReport>
     where
         S: EventSource,
         F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
     {
+        self.run_applied_with(source, partitioner, distributed, on_epoch, &NoopRecorder)
+    }
+
+    /// [`run_applied`](Self::run_applied) with telemetry: every batch is
+    /// recorded as an `epoch_apply` span (superstep = batch index, on the
+    /// engine-side track of its post-apply epoch) around the mutation
+    /// application, insert/delete counters accumulate, and the maintained
+    /// partition state is exported as gauges (`ebv_dynamic_live_edges`,
+    /// `ebv_dynamic_replication_factor`, `ebv_dynamic_edge_imbalance`).
+    ///
+    /// Instrumentation does not perturb the run: batches, metrics and every
+    /// deterministic [`MutationStats`] field are bit-identical to
+    /// [`run_applied`](Self::run_applied).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run_applied`](Self::run_applied).
+    pub fn run_applied_with<S, F, R>(
+        &self,
+        source: S,
+        partitioner: &mut DynamicPartitioner,
+        distributed: &mut DistributedGraph,
+        mut on_epoch: F,
+        recorder: &R,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
+        R: Recorder,
+    {
+        let mut batch_index = 0u32;
         self.run(source, partitioner, |batch, metrics| {
-            let stats = distributed.apply_mutations(batch)?;
+            let started = recorder.start();
+            let stats = distributed.apply_mutations_with(batch, recorder)?;
+            recorder.span(
+                started,
+                SpanCtx {
+                    epoch: distributed.epoch() as u32,
+                    superstep: batch_index,
+                    worker: distributed.num_workers() as u32,
+                },
+                Phase::EpochApply,
+            );
+            batch_index += 1;
+            recorder.counter_add("ebv_dynamic_inserts_total", batch.added().len() as u64);
+            recorder.counter_add("ebv_dynamic_deletes_total", batch.removed().len() as u64);
+            recorder.gauge_set("ebv_dynamic_live_edges", distributed.num_edges() as f64);
+            recorder.gauge_set("ebv_dynamic_replication_factor", metrics.replication_factor);
+            recorder.gauge_set("ebv_dynamic_edge_imbalance", metrics.edge_imbalance);
             on_epoch(distributed, batch, metrics, stats)
         })
     }

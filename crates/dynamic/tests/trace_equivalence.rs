@@ -1,0 +1,161 @@
+//! Property tests for the telemetry plane (PR 6 tentpole): instrumentation
+//! must be **invisible to execution**. A run with a live [`Telemetry`]
+//! recorder (spans into the lock-free ring, phase histograms, counters)
+//! must produce bit-identical per-vertex values *and* an identical
+//! [`ExecutionStats`](ebv_bsp::ExecutionStats) counter structure to the
+//! same run with the no-op recorder — for CC and SSSP, cold and warm,
+//! sequential and threaded, across churned mutation epochs (where the
+//! mutation-apply and routing-patch spans fire too).
+//!
+//! Wall-clock fields (`MutationStats::apply_seconds`) are the only
+//! sanctioned nondeterminism and are deliberately excluded: they live
+//! outside `ExecutionStats`.
+
+use proptest::prelude::*;
+
+use ebv_algorithms::{
+    ConnectedComponents, IncrementalConnectedComponents, IncrementalSssp, SingleSourceShortestPath,
+};
+use ebv_bsp::{BspEngine, BspOutcome, DistributedGraph, SubgraphProgram};
+use ebv_dynamic::{ChurnStream, EventPipeline};
+use ebv_graph::VertexId;
+use ebv_obs::Telemetry;
+use ebv_partition::EbvPartitioner;
+use ebv_stream::{EdgeSource, RmatEdgeStream};
+
+/// Runs `program` cold with and without the live recorder, in both
+/// execution modes, and asserts bit-equality of values and counters.
+fn assert_tracing_invisible<P>(
+    distributed: &DistributedGraph,
+    program: &P,
+    telemetry: &Telemetry,
+) -> BspOutcome<P::Value>
+where
+    P: SubgraphProgram,
+    P::Value: PartialEq,
+{
+    let mut witness = None;
+    for engine in [BspEngine::sequential(), BspEngine::threaded()] {
+        let plain = engine.run(distributed, program).unwrap();
+        let traced = engine.run_with(distributed, program, telemetry).unwrap();
+        assert!(
+            plain.values == traced.values,
+            "{}: tracing changed the values",
+            program.name()
+        );
+        assert_eq!(
+            plain.stats,
+            traced.stats,
+            "{}: tracing changed the counters",
+            program.name()
+        );
+        assert_eq!(plain.supersteps, traced.supersteps);
+        witness.get_or_insert(plain);
+    }
+    witness.expect("both modes ran")
+}
+
+/// Same for a warm start from `prior`.
+fn assert_tracing_invisible_warm<P>(
+    distributed: &DistributedGraph,
+    program: &P,
+    prior: &[P::Value],
+    telemetry: &Telemetry,
+) -> BspOutcome<P::Value>
+where
+    P: SubgraphProgram,
+    P::Value: PartialEq,
+{
+    let mut witness = None;
+    for engine in [BspEngine::sequential(), BspEngine::threaded()] {
+        let plain = engine.run_warm(distributed, program, prior).unwrap();
+        let traced = engine
+            .run_warm_with(distributed, program, prior, telemetry)
+            .unwrap();
+        assert!(
+            plain.values == traced.values,
+            "{}: tracing changed the warm values",
+            program.name()
+        );
+        assert_eq!(
+            plain.stats,
+            traced.stats,
+            "{}: tracing changed the warm counters",
+            program.name()
+        );
+        assert_eq!(plain.supersteps, traced.supersteps);
+        witness.get_or_insert(plain);
+    }
+    witness.expect("both modes ran")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Traced and untraced runs of CC and SSSP are bit-identical — values
+    /// and `ExecutionStats` — cold and warm, sequential and threaded,
+    /// over churned mutation epochs whose applies also run instrumented
+    /// (mutation-apply, routing-patch and epoch-apply spans fire).
+    #[test]
+    fn tracing_is_invisible_to_execution(
+        scale in 5u32..8,
+        num_edges in 80usize..400,
+        seed in 0u64..500,
+        churn in 1u32..6,
+        p in 2usize..6,
+        batch_size in 32usize..160,
+    ) {
+        let source = VertexId::new(0);
+        let stream = RmatEdgeStream::new(scale, num_edges).with_seed(seed);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(p))
+            .unwrap();
+        let mut distributed =
+            DistributedGraph::build_streaming(p, Some(1 << scale), Vec::new()).unwrap();
+        let mut telemetry = Telemetry::isolated();
+
+        // Prior outcomes carried warm across the churned epochs.
+        let mut labels =
+            assert_tracing_invisible(&distributed, &ConnectedComponents::new(), &telemetry)
+                .values;
+        let mut distances = assert_tracing_invisible(
+            &distributed,
+            &SingleSourceShortestPath::new(source),
+            &telemetry,
+        )
+        .values;
+
+        let churned = ChurnStream::new(stream, churn as f64 / 10.0)
+            .unwrap()
+            .with_seed(seed + 1);
+        let mut epochs = 0usize;
+        EventPipeline::new(batch_size)
+            .run_applied_with(
+                churned,
+                &mut partitioner,
+                &mut distributed,
+                |dg, batch, _, _| {
+                    // Cold equivalence on the mutated distribution (the
+                    // instrumented apply patched the routing table).
+                    assert_tracing_invisible(dg, &ConnectedComponents::new(), &telemetry);
+                    // Warm equivalence for both warm-capable programs under
+                    // test, carrying the traced distribution forward.
+                    let cc = IncrementalConnectedComponents::from_batch(&labels, batch);
+                    labels =
+                        assert_tracing_invisible_warm(dg, &cc, &labels, &telemetry).values;
+                    let sssp = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+                    distances =
+                        assert_tracing_invisible_warm(dg, &sssp, &distances, &telemetry)
+                            .values;
+                    epochs += 1;
+                    Ok(())
+                },
+                &telemetry,
+            )
+            .unwrap();
+        prop_assert!(epochs >= 1, "the churned stream produced no epoch");
+
+        // The recorder really was live: the traced runs left spans behind.
+        prop_assert!(!telemetry.spans().is_empty(), "no spans were recorded");
+    }
+}

@@ -1,0 +1,36 @@
+//! # ebv-obs — the std-only telemetry plane of the EBV reproduction
+//!
+//! The measurement substrate every runtime crate reports through, built
+//! with nothing but `std` (the vendor constraint rules out external
+//! telemetry crates):
+//!
+//! * [`Recorder`] — the instrumentation surface: timed phase spans plus
+//!   counters, gauges and latency histograms. [`NoopRecorder`] is the
+//!   zero-cost default: every hook is an empty `#[inline]` body and
+//!   [`Recorder::start`] returns `None` without reading the clock, so
+//!   uninstrumented runs monomorphize to the exact uninstrumented code.
+//! * [`MetricsRegistry`] — process-wide named atomic
+//!   counters/gauges/histograms (fixed 1-2-5 bucket ladder with p50/p99
+//!   extraction), snapshot-able to JSON and the Prometheus text
+//!   exposition format.
+//! * [`Telemetry`] — the real recorder: spans (epoch → superstep →
+//!   worker → phase) land in a bounded lock-free [`SpanRing`] with real
+//!   `Instant` timings and export as Chrome trace-event JSON loadable in
+//!   `chrome://tracing` or Perfetto.
+//!
+//! Instrumentation must not perturb determinism: program values and
+//! `ExecutionStats` with tracing enabled are property-tested to be
+//! bit-identical to no-op-recorder runs.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod recorder;
+mod registry;
+mod trace;
+
+pub use recorder::{NoopRecorder, Phase, Recorder, SpanCtx};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS,
+};
+pub use trace::{SpanRecord, SpanRing, Telemetry, DEFAULT_RING_CAPACITY};

@@ -1,0 +1,432 @@
+//! The span tracer: a bounded lock-free ring of timed phase spans and the
+//! [`Telemetry`] recorder that feeds it, exportable as Chrome trace-event
+//! JSON (loadable in `chrome://tracing` or Perfetto).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::recorder::{Phase, Recorder, SpanCtx};
+use crate::registry::MetricsRegistry;
+
+/// One completed span: a phase with its hierarchy coordinates and its
+/// start/duration relative to the tracer's origin instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The instrumented phase.
+    pub phase: Phase,
+    /// Where in the epoch → superstep → worker hierarchy the span sits.
+    pub ctx: SpanCtx,
+    /// Start offset from the tracer's origin, in nanoseconds.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+/// Sentinel sequence value marking a slot a writer currently owns.
+const WRITING: u64 = u64::MAX;
+
+/// A slot's payload, written only by the thread that claimed the slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotPayload {
+    phase: Phase,
+    ctx: SpanCtx,
+    start_nanos: u64,
+    duration_nanos: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// `0` = never written, `ticket + 1` = committed by that ticket,
+    /// [`WRITING`] = a writer owns the slot right now.
+    seq: AtomicU64,
+    payload: std::cell::UnsafeCell<SlotPayload>,
+}
+
+// SAFETY: `payload` is only written by the thread that atomically swapped
+// `seq` to WRITING (exclusive claim) and only read through `&mut self`
+// export methods, which statically guarantee no concurrent writer.
+unsafe impl Sync for Slot {}
+
+/// A bounded lock-free multi-producer ring of [`SpanRecord`]s.
+///
+/// Writers take a ticket with one `fetch_add`, claim their slot with a
+/// `swap`, and drop the span (counting it) if another writer still owns
+/// the slot — no spinning, no locks on the hot path. When the ring wraps,
+/// the oldest spans are overwritten; [`SpanRing::dropped`] reports spans
+/// lost to slot contention. Export requires `&mut self`, which statically
+/// guarantees quiescence.
+#[derive(Debug)]
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    /// Next ticket; slot index is `ticket % slots.len()`.
+    head: AtomicU64,
+    /// Spans dropped because their slot was still owned by another writer.
+    dropped: AtomicU64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding up to `capacity` spans (rounded up to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    payload: std::cell::UnsafeCell::new(SlotPayload::default()),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans pushed (including overwritten and dropped ones).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Spans dropped because of slot contention (distinct from the silent
+    /// overwrite of old spans when the ring wraps).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Pushes one span. Lock-free: on slot contention the span is dropped
+    /// and counted rather than waited for.
+    pub fn push(&self, record: SpanRecord) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        if slot.seq.swap(WRITING, Ordering::Acquire) == WRITING {
+            // Another writer owns this slot (the ring lapped it mid-write);
+            // losing one span beats blocking a worker thread.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: the swap above granted this thread exclusive ownership of
+        // the slot until the Release store below.
+        unsafe {
+            *slot.payload.get() = SlotPayload {
+                phase: record.phase,
+                ctx: record.ctx,
+                start_nanos: record.start_nanos,
+                duration_nanos: record.duration_nanos,
+            };
+        }
+        slot.seq.store(ticket + 1, Ordering::Release);
+    }
+
+    /// Drains the committed spans in ticket order (oldest surviving span
+    /// first). Taking `&mut self` guarantees no writer is concurrent with
+    /// the read.
+    pub fn export(&mut self) -> Vec<SpanRecord> {
+        let head = *self.head.get_mut();
+        let capacity = self.slots.len() as u64;
+        let oldest = head.saturating_sub(capacity);
+        let mut out = Vec::with_capacity((head - oldest) as usize);
+        for ticket in oldest..head {
+            let slot = &mut self.slots[(ticket % capacity) as usize];
+            if *slot.seq.get_mut() != ticket + 1 {
+                continue; // dropped on contention, lapped, or never committed
+            }
+            let payload = *slot.payload.get_mut();
+            out.push(SpanRecord {
+                phase: payload.phase,
+                ctx: payload.ctx,
+                start_nanos: payload.start_nanos,
+                duration_nanos: payload.duration_nanos,
+            });
+        }
+        out
+    }
+}
+
+/// Default span-ring capacity (spans) of a [`Telemetry`] built with
+/// [`Telemetry::new`] / [`Telemetry::isolated`].
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// The real [`Recorder`]: spans land in a bounded lock-free [`SpanRing`]
+/// with `Instant` timings *and* feed per-phase latency histograms;
+/// counters/gauges/histograms go to a [`MetricsRegistry`].
+///
+/// [`Telemetry::new`] reports into the process-wide
+/// [`MetricsRegistry::global`]; [`Telemetry::isolated`] uses a private
+/// registry (tests, overhead benchmarks).
+#[derive(Debug)]
+pub struct Telemetry {
+    ring: SpanRing,
+    registry: MetricsRegistry,
+    /// All span timestamps are offsets from this instant.
+    origin: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A tracer over the process-wide global registry with the default
+    /// ring capacity.
+    pub fn new() -> Self {
+        Telemetry::with_capacity(MetricsRegistry::global().clone(), DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer over a fresh private registry (no cross-talk with the
+    /// global one) with the default ring capacity.
+    pub fn isolated() -> Self {
+        Telemetry::with_capacity(MetricsRegistry::new(), DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer over `registry` with a ring of `capacity` spans.
+    pub fn with_capacity(registry: MetricsRegistry, capacity: usize) -> Self {
+        Telemetry {
+            ring: SpanRing::new(capacity),
+            registry,
+            origin: Instant::now(),
+        }
+    }
+
+    /// The registry this tracer reports metrics into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Spans dropped on ring-slot contention.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// The committed spans in ticket order (oldest first).
+    pub fn spans(&mut self) -> Vec<SpanRecord> {
+        self.ring.export()
+    }
+
+    /// Total recorded wall-clock seconds per phase, summed over the spans
+    /// currently in the ring — the measured counterpart of the
+    /// `CostModel` breakdown. Returned in [`Phase::ALL`] order.
+    pub fn phase_totals(&mut self) -> Vec<(Phase, f64)> {
+        let spans = self.ring.export();
+        Phase::ALL
+            .iter()
+            .map(|&phase| {
+                let nanos: u64 = spans
+                    .iter()
+                    .filter(|s| s.phase == phase)
+                    .map(|s| s.duration_nanos)
+                    .sum();
+                (phase, nanos as f64 / 1e9)
+            })
+            .collect()
+    }
+
+    /// Renders the ring as a Chrome trace-event JSON document (complete
+    /// `ph: "X"` duration events; microsecond timestamps), loadable in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. Workers map to
+    /// `tid`s so each worker gets its own track; engine-side spans
+    /// (`worker == p`) land on their own track above the workers.
+    pub fn chrome_trace(&mut self) -> String {
+        use std::fmt::Write as _;
+        let spans = self.ring.export();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, span) in spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"epoch\":{},\"superstep\":{},\"worker\":{}}}}}",
+                span.phase.name(),
+                span.phase.category(),
+                span.start_nanos / 1_000,
+                (span.duration_nanos / 1_000).max(1),
+                span.ctx.worker,
+                span.ctx.epoch,
+                span.ctx.superstep,
+                span.ctx.worker,
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl Recorder for Telemetry {
+    #[inline]
+    fn start(&self) -> Option<Instant> {
+        Some(Instant::now())
+    }
+
+    fn span(&self, started: Option<Instant>, ctx: SpanCtx, phase: Phase) {
+        let Some(started) = started else { return };
+        let duration = started.elapsed();
+        let start_nanos = started.saturating_duration_since(self.origin).as_nanos() as u64;
+        self.ring.push(SpanRecord {
+            phase,
+            ctx,
+            start_nanos,
+            duration_nanos: duration.as_nanos() as u64,
+        });
+        self.registry
+            .histogram(phase.histogram_name())
+            .observe(duration.as_secs_f64());
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.registry.counter(name).add(delta);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.registry.gauge(name).set(value);
+    }
+
+    fn observe_seconds(&self, name: &'static str, seconds: f64) {
+        self.registry.histogram(name).observe(seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ticket_hint: u64) -> SpanRecord {
+        SpanRecord {
+            phase: Phase::Compute,
+            ctx: SpanCtx {
+                epoch: 0,
+                superstep: ticket_hint as u32,
+                worker: 0,
+            },
+            start_nanos: ticket_hint * 10,
+            duration_nanos: 5,
+        }
+    }
+
+    #[test]
+    fn ring_preserves_order_and_wraps() {
+        let mut ring = SpanRing::new(4);
+        for i in 0..6 {
+            ring.push(record(i));
+        }
+        let spans = ring.export();
+        // Capacity 4, pushed 6: the oldest two were overwritten.
+        assert_eq!(spans.len(), 4);
+        let supersteps: Vec<u32> = spans.iter().map(|s| s.ctx.superstep).collect();
+        assert_eq!(supersteps, vec![2, 3, 4, 5]);
+        assert_eq!(ring.pushed(), 6);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_accepts_concurrent_writers() {
+        let ring = SpanRing::new(1 << 12);
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        ring.push(SpanRecord {
+                            phase: Phase::Scatter,
+                            ctx: SpanCtx {
+                                epoch: 0,
+                                superstep: i,
+                                worker,
+                            },
+                            start_nanos: 0,
+                            duration_nanos: 1,
+                        });
+                    }
+                });
+            }
+        });
+        let mut ring = ring;
+        assert_eq!(ring.pushed(), 2000);
+        // Nothing wrapped, so every span not dropped to contention survives.
+        assert_eq!(ring.export().len() as u64 + ring.dropped(), 2000);
+    }
+
+    #[test]
+    fn telemetry_records_spans_and_histograms() {
+        let mut telemetry = Telemetry::isolated();
+        let started = telemetry.start();
+        assert!(started.is_some());
+        let ctx = SpanCtx {
+            epoch: 2,
+            superstep: 7,
+            worker: 3,
+        };
+        telemetry.span(started, ctx, Phase::Gather);
+        telemetry.counter_add("probe_total", 2);
+        telemetry.gauge_set("probe_gauge", 1.5);
+
+        let snapshot = telemetry.registry().snapshot();
+        assert_eq!(snapshot.counters, vec![("probe_total".to_string(), 2)]);
+        assert_eq!(
+            snapshot
+                .histograms
+                .iter()
+                .map(|h| h.name.as_str())
+                .collect::<Vec<_>>(),
+            vec![Phase::Gather.histogram_name()]
+        );
+        assert_eq!(snapshot.histograms[0].count, 1);
+
+        let spans = telemetry.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, Phase::Gather);
+        assert_eq!(spans[0].ctx, ctx);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let mut telemetry = Telemetry::isolated();
+        for worker in 0..2 {
+            let started = telemetry.start();
+            telemetry.span(
+                started,
+                SpanCtx {
+                    epoch: 1,
+                    superstep: 4,
+                    worker,
+                },
+                Phase::Compute,
+            );
+        }
+        let json = telemetry.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"compute\""));
+        assert!(json.contains("\"cat\":\"bsp\""));
+        assert!(json.contains("\"superstep\":4"));
+        // Durations are clamped to ≥ 1µs so Perfetto renders them.
+        assert!(!json.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn phase_totals_sum_durations() {
+        let mut telemetry = Telemetry::isolated();
+        let ctx = SpanCtx::default();
+        for _ in 0..3 {
+            let started = telemetry.start();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            telemetry.span(started, ctx, Phase::Barrier);
+        }
+        let totals = telemetry.phase_totals();
+        let barrier = totals
+            .iter()
+            .find(|(phase, _)| *phase == Phase::Barrier)
+            .expect("barrier total present")
+            .1;
+        assert!(
+            barrier >= 3e-3,
+            "3 × 1ms sleeps should sum past 3ms, got {barrier}"
+        );
+        let gather = totals.iter().find(|(p, _)| *p == Phase::Gather).unwrap().1;
+        assert_eq!(gather, 0.0);
+    }
+}

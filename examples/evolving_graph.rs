@@ -33,6 +33,14 @@
 //! the default (`EBV_MODE=threaded` or unset) uses one thread per worker,
 //! exercising the parallel two-phase message exchange end-to-end. Both
 //! modes produce bit-identical values and counters.
+//!
+//! The whole run is traced through the `ebv-obs` telemetry plane:
+//! `EBV_TRACE=out.json` writes a Chrome trace-event file (load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) with one span per
+//! (epoch, superstep, worker, phase), `EBV_METRICS=out.prom` writes the
+//! metrics registry in Prometheus text exposition format, and a compact
+//! snapshot summary is always printed at the end. Tracing never perturbs
+//! the values — every exactness check holds with or without it.
 
 use std::time::{Duration, Instant};
 
@@ -40,9 +48,10 @@ use ebv::algorithms::{
     ranks, BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
     IncrementalPageRank, IncrementalSssp, SingleSourceShortestPath,
 };
-use ebv::bsp::{BspEngine, DistributedGraph};
+use ebv::bsp::{BspEngine, BspOutcome, DistributedGraph};
 use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
 use ebv::graph::{GraphBuilder, VertexId};
+use ebv::obs::{MetricsRegistry, Phase, Recorder, SpanCtx, Telemetry};
 use ebv::partition::{EbvPartitioner, PartitionMetrics, RebalanceConfig, StreamConfig};
 use ebv::stream::{EdgeSource, RmatEdgeStream};
 
@@ -75,11 +84,10 @@ fn engine_from_env() -> BspEngine {
     }
 }
 
-fn cc(distributed: &DistributedGraph) -> Vec<u64> {
+fn cc(distributed: &DistributedGraph, telemetry: &Telemetry) -> BspOutcome<u64> {
     engine_from_env()
-        .run(distributed, &ConnectedComponents::new())
+        .run_with(distributed, &ConnectedComponents::new(), telemetry)
         .expect("CC converges")
-        .values
 }
 
 fn fresh_build(
@@ -119,6 +127,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine_from_env().mode(),
     );
 
+    // The telemetry plane observes the whole run: spans from every BSP
+    // execution, mutation epoch and warm-start below land in one ring
+    // (sized for the ~30k spans this pipeline produces), metrics in the
+    // process-wide registry.
+    let mut telemetry = Telemetry::with_capacity(MetricsRegistry::global().clone(), 1 << 17);
+
     // ── Phase 1: churned ingestion through `run_applied` — one
     //    *incremental* apply_mutations epoch per batch; CC labels, SSSP
     //    distances and BFS depths all *warm-started* across every epoch ───
@@ -133,20 +147,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Values of the empty distribution: every vertex its own component,
     // everything but the source unreachable.
-    let mut labels = cc(&distributed);
+    let mut labels = cc(&distributed, &telemetry).values;
     let mut distances = engine
-        .run(&distributed, &SingleSourceShortestPath::new(source))?
+        .run_with(
+            &distributed,
+            &SingleSourceShortestPath::new(source),
+            &telemetry,
+        )?
         .values;
     let mut depths = engine
-        .run(&distributed, &BreadthFirstSearch::new(source))?
+        .run_with(&distributed, &BreadthFirstSearch::new(source), &telemetry)?
         .values;
     let mut warm_cc_time = Duration::ZERO;
     let mut warm_sssp_time = Duration::ZERO;
     let mut warm_bfs_time = Duration::ZERO;
 
     let started = Instant::now();
-    println!("epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt  sssp-cone");
-    let report = EventPipeline::new(BATCH).run_applied(
+    println!(
+        "epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt  apply-ms  sssp-cone"
+    );
+    let report = EventPipeline::new(BATCH).run_applied_with(
         churn,
         &mut partitioner,
         &mut distributed,
@@ -156,21 +176,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Warm-started re-execution re-activates only the disturbed
             // region for all three carried outcomes; each timed window
             // covers program construction (dirty sets, deletion cones)
-            // plus the warm BSP run.
+            // plus the warm BSP run. The constructions — the invalidation
+            // work proper — are additionally recorded as
+            // `warm_invalidation` spans on the engine-side track.
+            let warm_ctx = SpanCtx {
+                epoch: dg.epoch() as u32,
+                superstep: 0,
+                worker: WORKERS as u32,
+            };
             let warm_started = Instant::now();
+            let span = telemetry.start();
             let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
-            labels = engine.run_warm(dg, &cc_program, &labels)?.values;
+            telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
+            labels = engine
+                .run_warm_with(dg, &cc_program, &labels, &telemetry)?
+                .values;
             warm_cc_time += warm_started.elapsed();
             let warm_started = Instant::now();
+            let span = telemetry.start();
             let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
-            distances = engine.run_warm(dg, &sssp_program, &distances)?.values;
+            telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
+            distances = engine
+                .run_warm_with(dg, &sssp_program, &distances, &telemetry)?
+                .values;
             warm_sssp_time += warm_started.elapsed();
             let warm_started = Instant::now();
+            let span = telemetry.start();
             let bfs_program = IncrementalBfs::from_distributed(source, dg, &depths, batch);
-            depths = engine.run_warm(dg, &bfs_program, &depths)?.values;
+            telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
+            depths = engine
+                .run_warm_with(dg, &bfs_program, &depths, &telemetry)?
+                .values;
             warm_bfs_time += warm_started.elapsed();
             println!(
-                "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}  {:>9}",
+                "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}  {:>8.2}  {:>9}",
                 dg.epoch(),
                 dg.num_edges(),
                 batch.added().len(),
@@ -179,10 +218,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 metrics.edge_imbalance,
                 stats.workers_touched,
                 stats.edges_rebuilt,
+                stats.apply_seconds * 1e3,
                 sssp_program.cone_vertices(),
             );
             Ok(())
         },
+        &telemetry,
     )?;
     let elapsed = started.elapsed();
     let events = report.total_inserts() + report.total_deletes();
@@ -203,10 +244,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // are bit-identical to a cold CC run, which in turn equals CC on a
     // fresh batch build of the survivors.
     let cold_started = Instant::now();
-    let labels_cold = cc(&distributed);
+    let cc_cold = cc(&distributed, &telemetry);
     let cold_cc_time = cold_started.elapsed();
-    assert_eq!(labels, labels_cold, "warm CC must be bit-identical");
-    assert_eq!(labels_cold, cc(&fresh_build(&partitioner)?));
+    assert_eq!(labels, cc_cold.values, "warm CC must be bit-identical");
+    assert_eq!(
+        cc_cold.values,
+        cc(&fresh_build(&partitioner)?, &telemetry).values
+    );
     let mut components = labels.clone();
     components.sort_unstable();
     components.dedup();
@@ -215,6 +259,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         distributed.epoch(),
         components.len()
     );
+    println!("cold CC counters: {}", cc_cold.stats);
     let epochs = distributed.epoch() as u32;
     println!(
         "warm CC {:.2?}/epoch (churn disturbs ~10% of the graph) vs cold {cold_cc_time:.2?}",
@@ -224,14 +269,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exactness check 3: the warm-carried SSSP distances and BFS depths are
     // bit-identical to cold runs on the final distribution.
     let cold_started = Instant::now();
-    let sssp_cold = engine.run(&distributed, &SingleSourceShortestPath::new(source))?;
+    let sssp_cold = engine.run_with(
+        &distributed,
+        &SingleSourceShortestPath::new(source),
+        &telemetry,
+    )?;
     let sssp_cold_time = cold_started.elapsed();
     assert_eq!(
         distances, sssp_cold.values,
         "warm SSSP must be distance-equal"
     );
     let cold_started = Instant::now();
-    let bfs_cold = engine.run(&distributed, &BreadthFirstSearch::new(source))?;
+    let bfs_cold = engine.run_with(&distributed, &BreadthFirstSearch::new(source), &telemetry)?;
     let bfs_cold_time = cold_started.elapsed();
     assert_eq!(depths, bfs_cold.values, "warm BFS must be bit-identical");
     assert_eq!(distances, depths, "unit-weight SSSP and BFS agree");
@@ -262,9 +311,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let local_program = IncrementalConnectedComponents::from_batch(&labels, &local_batch);
     let local_started = Instant::now();
-    let stats = distributed.apply_mutations(&local_batch)?;
+    let stats = distributed.apply_mutations_with(&local_batch, &telemetry)?;
     labels = engine
-        .run_warm(&distributed, &local_program, &labels)?
+        .run_warm_with(&distributed, &local_program, &labels, &telemetry)?
         .values;
     assert_eq!(
         stats.workers_touched, 1,
@@ -280,9 +329,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ── Phase 2: warm PageRank across a mutation epoch ───────────────────
-    let pr_cold = engine.run(
+    let pr_cold = engine.run_with(
         &distributed,
         &IncrementalPageRank::from_distributed(&distributed, PR_ITERATIONS),
+        &telemetry,
     )?;
     // One more churned batch on top of the ranked graph.
     let extra = ChurnStream::new(
@@ -294,18 +344,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cc_prior = labels.clone();
     EventPipeline::new(BATCH).run(extra, &mut partitioner, |batch, _| {
         extra_cc_program.absorb(&cc_prior, batch);
-        distributed.apply_mutations(batch)?;
+        distributed.apply_mutations_with(batch, &telemetry)?;
         Ok(())
     })?;
     // Warm-start with a quarter of the iteration budget: near the old
     // fixpoint the contraction has that much less error to burn down.
     let warm_program = IncrementalPageRank::from_distributed(&distributed, PR_WARM_ITERATIONS);
     let warm_started = Instant::now();
-    let pr_warm = engine.run_warm(&distributed, &warm_program, &pr_cold.values)?;
+    let pr_warm = engine.run_warm_with(&distributed, &warm_program, &pr_cold.values, &telemetry)?;
     let pr_warm_time = warm_started.elapsed();
     let cold_program = IncrementalPageRank::from_distributed(&distributed, PR_ITERATIONS);
     let cold_started = Instant::now();
-    let pr_cold_after = engine.run(&distributed, &cold_program)?;
+    let pr_cold_after = engine.run_with(&distributed, &cold_program, &telemetry)?;
     let pr_cold_time = cold_started.elapsed();
     let max_diff = ranks(&pr_warm.values)
         .iter()
@@ -315,15 +365,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(max_diff < 1e-4, "warm PR drifted: max diff {max_diff}");
     assert!(pr_warm.stats.total_messages() < pr_cold_after.stats.total_messages());
     println!(
-        "warm PR ({PR_WARM_ITERATIONS} iters, {pr_warm_time:.2?}, {} msgs) matches cold \
-         ({PR_ITERATIONS} iters, {pr_cold_time:.2?}, {} msgs): max |Δrank| {max_diff:.2e}",
-        pr_warm.stats.total_messages(),
-        pr_cold_after.stats.total_messages(),
+        "warm PR ({pr_warm_time:.2?}) matches cold ({pr_cold_time:.2?}): max |Δrank| \
+         {max_diff:.2e}\n  warm: {}\n  cold: {}",
+        pr_warm.stats, pr_cold_after.stats,
     );
     // Warm CC absorbed the same extra batches and still agrees.
-    let warm_cc = engine.run_warm(&distributed, &extra_cc_program, &cc_prior)?;
+    let warm_cc = engine.run_warm_with(&distributed, &extra_cc_program, &cc_prior, &telemetry)?;
     labels = warm_cc.values;
-    assert_eq!(labels, cc(&distributed));
+    assert_eq!(labels, cc(&distributed, &telemetry).values);
     println!("warm CC re-validated after the extra churn epoch\n");
 
     // ── Phase 3: skew + one rebalance epoch ──────────────────────────────
@@ -340,7 +389,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         skew_batch.record_delete(*edge, part);
     }
     let skew_program = IncrementalConnectedComponents::from_batch(&labels, &skew_batch);
-    distributed.apply_mutations(&skew_batch)?;
+    distributed.apply_mutations_with(&skew_batch, &telemetry)?;
 
     let config = RebalanceConfig::new()
         .with_max_edge_imbalance(1.25)
@@ -366,7 +415,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rebalance_program = skew_program;
     let migration_batch = batch_from_plan(&plan);
     rebalance_program.absorb(&labels_before_skew, &migration_batch);
-    let stats = distributed.apply_mutations(&migration_batch)?;
+    let stats = distributed.apply_mutations_with(&migration_batch, &telemetry)?;
     println!(
         "migration epoch touched {}/{WORKERS} workers ({} local edges re-indexed)",
         stats.workers_touched, stats.edges_rebuilt
@@ -374,10 +423,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(distributed.num_edges(), partitioner.live_edges());
     assert_metrics_recompute_exactly(&partitioner)?;
     let labels_after = engine
-        .run_warm(&distributed, &rebalance_program, &labels_before_skew)?
+        .run_warm_with(
+            &distributed,
+            &rebalance_program,
+            &labels_before_skew,
+            &telemetry,
+        )?
         .values;
-    assert_eq!(labels_after, cc(&distributed));
-    assert_eq!(labels_after, cc(&fresh_build(&partitioner)?));
+    assert_eq!(labels_after, cc(&distributed, &telemetry).values);
+    assert_eq!(
+        labels_after,
+        cc(&fresh_build(&partitioner)?, &telemetry).values
+    );
     println!(
         "warm CC(rebalanced, epoch {}) == cold == CC(fresh build): migration preserved every \
          label\n",
@@ -412,5 +469,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         windowed.metrics(),
     );
     println!("\nevolving-graph pipeline: every exactness check passed");
+
+    // ── Telemetry export ─────────────────────────────────────────────────
+    // The span ring and the registry observed every BSP execution,
+    // mutation epoch and warm invalidation above.
+    let snapshot = telemetry.registry().snapshot();
+    println!(
+        "\ntelemetry snapshot ({} spans dropped):",
+        telemetry.dropped()
+    );
+    print!("{snapshot}");
+    println!("measured wall-clock per phase:");
+    for (phase, seconds) in telemetry.phase_totals() {
+        if seconds > 0.0 {
+            println!("  {:<17} {seconds:>9.4}s", phase.name());
+        }
+    }
+    if let Ok(path) = std::env::var("EBV_TRACE") {
+        let trace = telemetry.chrome_trace();
+        std::fs::write(&path, &trace)?;
+        println!(
+            "wrote Chrome trace ({} events) to {path} — load it in chrome://tracing or \
+             https://ui.perfetto.dev",
+            trace.matches("\"ph\":\"X\"").count(),
+        );
+    }
+    if let Ok(path) = std::env::var("EBV_METRICS") {
+        std::fs::write(&path, snapshot.to_prometheus())?;
+        println!("wrote Prometheus metrics to {path}");
+    }
     Ok(())
 }

@@ -12,6 +12,8 @@
 //! * [`dynamic`] — evolving-graph support: mutation events, window and
 //!   churn sources, the batched event pipeline (`ebv-dynamic`)
 //! * [`bsp`] — the subgraph-centric BSP engine and cost model (`ebv-bsp`)
+//! * [`obs`] — the std-only telemetry plane: metrics registry, phase
+//!   tracer and Chrome-trace export (`ebv-obs`)
 //! * [`algorithms`] — CC, SSSP, PageRank, BFS and their sequential
 //!   references (`ebv-algorithms`)
 //!
@@ -24,5 +26,6 @@ pub use ebv_algorithms as algorithms;
 pub use ebv_bsp as bsp;
 pub use ebv_dynamic as dynamic;
 pub use ebv_graph as graph;
+pub use ebv_obs as obs;
 pub use ebv_partition as partition;
 pub use ebv_stream as stream;
