@@ -220,6 +220,7 @@ mod tests {
         for (numerator, denominator, cap) in [
             ("cc_cold_threaded", "cc_cold_sequential", 1.0),
             ("cc_traced", "cc_cold_sequential", 1.05),
+            ("cc_served", "cc_cold_sequential", 1.05),
             ("cc_warm_epoch", "cc_cold", 1.0),
             ("sssp_warm_epoch", "sssp_cold", 1.0),
             ("bfs_warm_epoch", "bfs_cold", 1.0),

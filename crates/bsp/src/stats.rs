@@ -103,6 +103,26 @@ impl ExecutionStats {
     pub fn message_max_mean_ratio(&self) -> f64 {
         max_mean_ratio(&self.messages_sent_per_worker())
     }
+
+    /// Work units performed by each worker, summed over supersteps.
+    pub fn work_per_worker(&self) -> Vec<usize> {
+        let mut totals = vec![0usize; self.num_workers];
+        for superstep in &self.supersteps {
+            for (i, w) in superstep.per_worker.iter().enumerate() {
+                totals[i] += w.work as usize;
+            }
+        }
+        totals
+    }
+
+    /// The max/mean ratio of per-worker work units — the deterministic
+    /// counted counterpart of the wall-clock `ebv_bsp_straggler_ratio`
+    /// gauge: work skew predicts compute-time skew under the cost model,
+    /// so a divergence between the two points at platform effects (cache,
+    /// scheduling) rather than partitioning.
+    pub fn work_max_mean_ratio(&self) -> f64 {
+        max_mean_ratio(&self.work_per_worker())
+    }
 }
 
 impl fmt::Display for ExecutionStats {
@@ -298,6 +318,8 @@ mod tests {
         assert_eq!(s.total_work(), 410);
         assert_eq!(s.messages_sent_per_worker(), vec![10, 20]);
         assert!((s.message_max_mean_ratio() - 20.0 / 15.0).abs() < 1e-12);
+        assert_eq!(s.work_per_worker(), vec![150, 260]);
+        assert!((s.work_max_mean_ratio() - 260.0 / 205.0).abs() < 1e-12);
         assert_eq!(s.supersteps[0].messages(), 30);
         assert_eq!(s.supersteps[0].updates(), 7);
     }

@@ -333,6 +333,25 @@ pub struct MutationStats {
     pub apply_seconds: f64,
 }
 
+impl std::fmt::Display for MutationStats {
+    /// One-line epoch summary, the mutation-side counterpart of
+    /// [`ExecutionStats`](crate::ExecutionStats)' Display.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.workers_touched == 0 {
+            return write!(f, "no-op epoch (0 workers touched)");
+        }
+        write!(
+            f,
+            "{} workers touched, {} edges rebuilt (+{}/-{} edge copies) in {:.2}ms",
+            self.workers_touched,
+            self.edges_rebuilt,
+            self.edges_added,
+            self.edges_removed,
+            self.apply_seconds * 1e3,
+        )
+    }
+}
+
 /// A graph distributed over `p` workers: the per-worker subgraphs plus the
 /// replica table used for routing messages.
 #[derive(Debug, Clone)]
@@ -1422,6 +1441,27 @@ mod tests {
             err.to_string(),
             "invalid mutation: partition 0 holds no copy of edge (5 -> 5) to remove"
         );
+    }
+
+    #[test]
+    fn mutation_stats_display_is_one_line() {
+        assert_eq!(
+            MutationStats::default().to_string(),
+            "no-op epoch (0 workers touched)"
+        );
+        let stats = MutationStats {
+            workers_touched: 3,
+            edges_rebuilt: 1200,
+            edges_added: 45,
+            edges_removed: 12,
+            apply_seconds: 0.00525,
+        };
+        let line = stats.to_string();
+        assert_eq!(
+            line,
+            "3 workers touched, 1200 edges rebuilt (+45/-12 edge copies) in 5.25ms"
+        );
+        assert!(!line.contains('\n'));
     }
 
     #[test]

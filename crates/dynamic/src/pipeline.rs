@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use ebv_bsp::{DistributedGraph, MutationBatch, MutationStats};
 use ebv_graph::Edge;
-use ebv_obs::{NoopRecorder, Phase, Recorder, SpanCtx};
+use ebv_obs::{EpochMark, NoopRecorder, Phase, Recorder, SpanCtx};
 use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionId, PartitionMetrics};
 
 use crate::error::{DynamicError, Result};
@@ -170,6 +170,11 @@ impl EventPipeline {
     /// application, insert/delete counters accumulate, and the maintained
     /// partition state is exported as gauges (`ebv_dynamic_live_edges`,
     /// `ebv_dynamic_replication_factor`, `ebv_dynamic_edge_imbalance`).
+    /// Every non-empty batch additionally reports an
+    /// [`EpochMark`](ebv_obs::EpochMark) through
+    /// [`Recorder::epoch_applied`], which a live
+    /// [`Telemetry`](ebv_obs::Telemetry) turns into one
+    /// `EpochSnapshot` per applied epoch in its journal.
     ///
     /// Instrumentation does not perturb the run: batches, metrics and every
     /// deterministic [`MutationStats`] field are bit-identical to
@@ -204,12 +209,26 @@ impl EventPipeline {
                 },
                 Phase::EpochApply,
             );
-            batch_index += 1;
             recorder.counter_add("ebv_dynamic_inserts_total", batch.added().len() as u64);
             recorder.counter_add("ebv_dynamic_deletes_total", batch.removed().len() as u64);
             recorder.gauge_set("ebv_dynamic_live_edges", distributed.num_edges() as f64);
             recorder.gauge_set("ebv_dynamic_replication_factor", metrics.replication_factor);
             recorder.gauge_set("ebv_dynamic_edge_imbalance", metrics.edge_imbalance);
+            if !batch.is_empty() {
+                recorder.epoch_applied(&EpochMark {
+                    epoch: distributed.epoch() as u64,
+                    batch_index,
+                    apply_seconds: stats.apply_seconds,
+                    workers_touched: stats.workers_touched as u32,
+                    edges_rebuilt: stats.edges_rebuilt as u64,
+                    edges_added: stats.edges_added as u64,
+                    edges_removed: stats.edges_removed as u64,
+                    live_edges: distributed.num_edges() as u64,
+                    replication_factor: metrics.replication_factor,
+                    edge_imbalance: metrics.edge_imbalance,
+                });
+            }
+            batch_index += 1;
             on_epoch(distributed, batch, metrics, stats)
         })
     }

@@ -19,7 +19,7 @@ use ebv_algorithms::{
 use ebv_bsp::{BspEngine, BspOutcome, DistributedGraph, SubgraphProgram};
 use ebv_dynamic::{ChurnStream, EventPipeline};
 use ebv_graph::VertexId;
-use ebv_obs::Telemetry;
+use ebv_obs::{NoopRecorder, ObsServer, ObsServerConfig, Recorder, Telemetry};
 use ebv_partition::EbvPartitioner;
 use ebv_stream::{EdgeSource, RmatEdgeStream};
 
@@ -112,7 +112,7 @@ proptest! {
             .unwrap();
         let mut distributed =
             DistributedGraph::build_streaming(p, Some(1 << scale), Vec::new()).unwrap();
-        let mut telemetry = Telemetry::isolated();
+        let telemetry = Telemetry::isolated();
 
         // Prior outcomes carried warm across the churned epochs.
         let mut labels =
@@ -158,4 +158,114 @@ proptest! {
         // The recorder really was live: the traced runs left spans behind.
         prop_assert!(!telemetry.spans().is_empty(), "no spans were recorded");
     }
+}
+
+/// One fixed churn scenario: cold CC, then warm CC carried across every
+/// applied epoch, everything reporting through `recorder`. Returns the
+/// final labels, the per-epoch warm counters and the applied-epoch count —
+/// every deterministic observable of the run.
+fn run_scenario<R: Recorder>(recorder: &R) -> (Vec<u64>, Vec<ebv_bsp::ExecutionStats>, usize) {
+    let stream = RmatEdgeStream::new(7, 2_000).with_seed(99);
+    let mut partitioner = EbvPartitioner::new()
+        .dynamic(stream.stream_config(4))
+        .unwrap();
+    let mut distributed = DistributedGraph::build_streaming(4, Some(1 << 7), Vec::new()).unwrap();
+    let engine = BspEngine::threaded();
+    let mut labels = engine
+        .run_with(&distributed, &ConnectedComponents::new(), recorder)
+        .unwrap()
+        .values;
+    let mut stats_log = Vec::new();
+    let mut applied = 0usize;
+    let churned = ChurnStream::new(stream, 0.2).unwrap().with_seed(100);
+    EventPipeline::new(256)
+        .run_applied_with(
+            churned,
+            &mut partitioner,
+            &mut distributed,
+            |dg, batch, _, _| {
+                if !batch.is_empty() {
+                    applied += 1;
+                }
+                let cc = IncrementalConnectedComponents::from_batch(&labels, batch);
+                let outcome = engine.run_warm_with(dg, &cc, &labels, recorder).unwrap();
+                labels = outcome.values;
+                stats_log.push(outcome.stats);
+                Ok(())
+            },
+            recorder,
+        )
+        .unwrap();
+    (labels, stats_log, applied)
+}
+
+/// The tentpole integration property: attaching the live HTTP server —
+/// with four scraper threads hammering every route *while the churn run
+/// executes* — changes no program value and no counter versus the no-op
+/// recorder, and the journal holds one snapshot per applied epoch.
+#[test]
+fn serving_is_invisible_to_execution() {
+    use std::io::{Read as _, Write as _};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("send scrape");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read scrape");
+        out
+    }
+
+    let (noop_labels, noop_stats, noop_applied) = run_scenario(&NoopRecorder);
+    assert!(noop_applied >= 1, "the scenario produced no applied epoch");
+
+    let telemetry = Arc::new(Telemetry::isolated());
+    let server = ObsServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&telemetry),
+        ObsServerConfig::default(),
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<_> = ["/metrics", "/healthz", "/trace.json", "/epochs.json"]
+        .into_iter()
+        .map(|path| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let response = scrape(addr, path);
+                    assert!(
+                        response.starts_with("HTTP/1.1 200"),
+                        "{path} scrape failed mid-run: {}",
+                        response.lines().next().unwrap_or_default(),
+                    );
+                    scrapes += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    let (labels, stats_log, applied) = run_scenario(&*telemetry);
+    stop.store(true, Ordering::Relaxed);
+    let total_scrapes: u64 = scrapers
+        .into_iter()
+        .map(|handle| handle.join().expect("scraper thread"))
+        .sum();
+
+    assert!(total_scrapes >= 4, "each route must have been scraped");
+    assert_eq!(labels, noop_labels, "serving changed the values");
+    assert_eq!(stats_log, noop_stats, "serving changed the counters");
+    assert_eq!(applied, noop_applied);
+    // One journal snapshot per applied epoch, none lost to the scrapes.
+    assert_eq!(telemetry.journal().recorded_total(), applied as u64);
+    server.shutdown();
 }

@@ -16,21 +16,35 @@
 //! * [`Telemetry`] — the real recorder: spans (epoch → superstep →
 //!   worker → phase) land in a bounded lock-free [`SpanRing`] with real
 //!   `Instant` timings and export as Chrome trace-event JSON loadable in
-//!   `chrome://tracing` or Perfetto.
+//!   `chrome://tracing` or Perfetto, with per-(worker, phase) wall-clock
+//!   attribution and a per-superstep straggler gauge on top.
+//! * [`EpochJournal`] — a bounded ring of per-epoch [`EpochSnapshot`]s
+//!   (apply cost, partition quality, per-phase deltas) fed through
+//!   [`Recorder::epoch_applied`] from the epoch driver — the process's
+//!   time series, exportable as JSON.
+//! * [`ObsServer`] — the live ops plane: a std-only HTTP/1.1 exporter
+//!   (hand-rolled `TcpListener` + thread pool, no async runtime) serving
+//!   `GET /metrics`, `/healthz`, `/trace.json` and `/epochs.json` from a
+//!   running [`Telemetry`] without stopping it.
 //!
 //! Instrumentation must not perturb determinism: program values and
-//! `ExecutionStats` with tracing enabled are property-tested to be
-//! bit-identical to no-op-recorder runs.
+//! `ExecutionStats` with tracing enabled — and with the server scraping
+//! concurrently — are property-tested to be bit-identical to
+//! no-op-recorder runs.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod journal;
 mod recorder;
 mod registry;
+mod serve;
 mod trace;
 
+pub use journal::{EpochJournal, EpochMark, EpochSnapshot, DEFAULT_JOURNAL_CAPACITY};
 pub use recorder::{NoopRecorder, Phase, Recorder, SpanCtx};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS,
 };
+pub use serve::{ObsServer, ObsServerConfig};
 pub use trace::{SpanRecord, SpanRing, Telemetry, DEFAULT_RING_CAPACITY};

@@ -3,6 +3,8 @@
 
 use std::time::Instant;
 
+use crate::journal::EpochMark;
+
 /// The instrumented phases of the runtime, the `name` a span carries into
 /// the Chrome trace and the per-phase latency histograms.
 ///
@@ -51,6 +53,20 @@ impl Phase {
         Phase::EpochApply,
         Phase::ChunkIngest,
     ];
+
+    /// Number of phases (the length of [`Phase::ALL`]).
+    pub const COUNT: usize = Phase::ALL.len();
+
+    /// The phase's position in [`Phase::ALL`] (its declaration index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The inverse of [`index`](Phase::index): `None` past the last phase.
+    pub fn from_index(index: usize) -> Option<Phase> {
+        Phase::ALL.get(index).copied()
+    }
 
     /// The stable snake_case name used as the Chrome-trace event name.
     pub fn name(self) -> &'static str {
@@ -148,6 +164,14 @@ pub trait Recorder: Sync {
     /// Records one observation into the named latency histogram.
     #[inline]
     fn observe_seconds(&self, _name: &'static str, _seconds: f64) {}
+
+    /// Reports one applied mutation epoch. The epoch driver
+    /// (`EventPipeline::run_applied_with`) calls this once per non-empty
+    /// batch, after the mutations landed; [`Telemetry`](crate::Telemetry)
+    /// turns the mark into an [`EpochSnapshot`](crate::EpochSnapshot) in
+    /// its bounded [`EpochJournal`](crate::EpochJournal).
+    #[inline]
+    fn epoch_applied(&self, _mark: &EpochMark) {}
 }
 
 /// The zero-cost default recorder: every hook is an empty inline body, so

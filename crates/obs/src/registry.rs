@@ -9,7 +9,6 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -289,23 +288,25 @@ fn assert_bare_name(name: &str) -> &str {
 }
 
 impl MetricsSnapshot {
-    /// Renders the snapshot as a JSON document (hand-rolled: the vendored
-    /// serde stand-in has no JSON backend).
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"counters\": {");
+    /// Renders the snapshot as a JSON document into `out` (hand-rolled:
+    /// the vendored serde stand-in has no JSON backend). Writing into a
+    /// caller-supplied sink lets HTTP handlers and large exports stream
+    /// without building intermediate strings.
+    pub fn to_json_into<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        out.write_str("{\n  \"counters\": {")?;
         for (i, (name, value)) in self.counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{}\": {value}", assert_bare_name(name));
+            write!(out, "{sep}\n    \"{}\": {value}", assert_bare_name(name))?;
         }
-        out.push_str("\n  },\n  \"gauges\": {");
+        out.write_str("\n  },\n  \"gauges\": {")?;
         for (i, (name, value)) in self.gauges.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{}\": {value:.9}", assert_bare_name(name));
+            write!(out, "{sep}\n    \"{}\": {value:.9}", assert_bare_name(name))?;
         }
-        out.push_str("\n  },\n  \"histograms\": [");
+        out.write_str("\n  },\n  \"histograms\": [")?;
         for (i, histogram) in self.histograms.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(
+            write!(
                 out,
                 "{sep}\n    {{\"name\": \"{}\", \"count\": {}, \"sum_seconds\": {:.9}, \
                  \"p50_seconds\": {:.9}, \"p99_seconds\": {:.9}}}",
@@ -314,39 +315,55 @@ impl MetricsSnapshot {
                 histogram.sum_seconds,
                 histogram.p50,
                 histogram.p99,
-            );
+            )?;
         }
-        out.push_str("\n  ]\n}\n");
+        out.write_str("\n  ]\n}\n")
+    }
+
+    /// [`to_json_into`](Self::to_json_into) into a fresh `String`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.to_json_into(&mut out)
+            .expect("writing to a String cannot fail");
         out
     }
 
-    /// Renders the snapshot in the Prometheus text exposition format
-    /// (counters, gauges and cumulative histogram buckets with `+Inf`).
-    pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
+    /// Renders the snapshot in the Prometheus text exposition format into
+    /// `out` (counters, gauges and cumulative histogram buckets with
+    /// `+Inf`).
+    pub fn to_prometheus_into<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
         for (name, value) in &self.counters {
             let name = assert_bare_name(name);
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            writeln!(out, "# TYPE {name} counter")?;
+            writeln!(out, "{name} {value}")?;
         }
         for (name, value) in &self.gauges {
             let name = assert_bare_name(name);
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            writeln!(out, "# TYPE {name} gauge")?;
+            writeln!(out, "{name} {value}")?;
         }
         for histogram in &self.histograms {
             let name = assert_bare_name(&histogram.name);
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            writeln!(out, "# TYPE {name} histogram")?;
             let mut cumulative = 0u64;
             for &(bound, count) in &histogram.buckets {
                 cumulative += count;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}")?;
             }
             cumulative += histogram.overflow;
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-            let _ = writeln!(out, "{name}_sum {}", histogram.sum_seconds);
-            let _ = writeln!(out, "{name}_count {}", histogram.count);
+            writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}")?;
+            writeln!(out, "{name}_sum {}", histogram.sum_seconds)?;
+            writeln!(out, "{name}_count {}", histogram.count)?;
         }
+        Ok(())
+    }
+
+    /// [`to_prometheus_into`](Self::to_prometheus_into) into a fresh
+    /// `String`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.to_prometheus_into(&mut out)
+            .expect("writing to a String cannot fail");
         out
     }
 }

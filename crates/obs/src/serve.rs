@@ -1,0 +1,557 @@
+//! The live ops plane: [`ObsServer`], a std-only HTTP/1.1 exporter over a
+//! `TcpListener` and a small accept-thread pool (no async runtime, no
+//! external dependencies — requests are parsed and responses written by
+//! hand) serving the four read-only routes of a running [`Telemetry`]:
+//!
+//! | route          | payload                                            |
+//! |----------------|----------------------------------------------------|
+//! | `/metrics`     | Prometheus text, incl. per-worker labeled families |
+//! | `/healthz`     | liveness + last-epoch staleness JSON               |
+//! | `/trace.json`  | Chrome trace of recent spans (non-destructive)     |
+//! | `/epochs.json` | the bounded [`EpochJournal`] time series           |
+//!
+//! [`EpochJournal`]: crate::EpochJournal
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::trace::Telemetry;
+
+/// Tuning knobs of an [`ObsServer`].
+#[derive(Debug, Clone)]
+pub struct ObsServerConfig {
+    /// Accept/handler threads (each thread accepts and serves one
+    /// connection at a time; rounded up to 1).
+    pub threads: usize,
+    /// `/healthz` reports `503 stale` when the last journal record is
+    /// older than this.
+    pub staleness_threshold: Duration,
+    /// Per-connection socket read/write timeout.
+    pub read_timeout: Duration,
+    /// Connections whose request head exceeds this many bytes get
+    /// `431 Request Header Fields Too Large`.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ObsServerConfig {
+    fn default() -> Self {
+        ObsServerConfig {
+            threads: 2,
+            staleness_threshold: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(2),
+            max_request_bytes: 8192,
+        }
+    }
+}
+
+/// A running observability server: a handle owning the accept threads.
+///
+/// Dropping the handle (or calling [`shutdown`](ObsServer::shutdown))
+/// stops the listeners gracefully: the shutdown flag is raised, each
+/// accept thread is woken with a loopback connection, and all threads are
+/// joined — no detached threads outlive the handle.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9808"`, port 0 for an ephemeral
+    /// port) and starts serving `telemetry` on a pool of
+    /// [`config.threads`](ObsServerConfig::threads) accept threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        telemetry: Arc<Telemetry>,
+        config: ObsServerConfig,
+    ) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let threads = config.threads.max(1);
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let listener = listener.try_clone()?;
+            let telemetry = Arc::clone(&telemetry);
+            let shutdown = Arc::clone(&shutdown);
+            let requests = Arc::clone(&requests);
+            let config = config.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ebv-obs-{worker}"))
+                    .spawn(move || {
+                        accept_loop(&listener, &telemetry, &shutdown, &requests, &config);
+                    })?,
+            );
+        }
+        Ok(ObsServer {
+            addr,
+            shutdown,
+            requests,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests accepted so far (including malformed ones).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, wakes the accept threads and joins them.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Each accept thread is parked in `accept`; one loopback connection
+        // per thread unblocks them all to observe the flag.
+        for _ in 0..self.handles.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    telemetry: &Telemetry,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+    config: &ObsServerConfig,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        requests.fetch_add(1, Ordering::Relaxed);
+        // A handler panic (it cannot: handle_connection is infallible by
+        // construction) or I/O error must never take down the listener —
+        // errors are per-connection and the loop continues.
+        let _ = handle_connection(stream, telemetry, config);
+    }
+}
+
+/// Reads the request head (up to the blank line), routes it, and writes
+/// exactly one response. Every malformed input maps to a clean 4xx.
+fn handle_connection(
+    mut stream: TcpStream,
+    telemetry: &Telemetry,
+    config: &ObsServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.read_timeout))?;
+    let head = match read_request_head(&mut stream, config.max_request_bytes) {
+        Ok(head) => head,
+        Err(HeadError::TooLarge) => {
+            respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain; charset=utf-8",
+                "request head too large\n",
+                &[],
+            )?;
+            // The client may still be mid-send: closing now, with unread
+            // bytes queued, would RST the connection and can destroy the
+            // response in flight. Half-close and drain to EOF (bounded by
+            // the read timeout) so the 431 is delivered.
+            stream.shutdown(std::net::Shutdown::Write)?;
+            let mut sink = [0u8; 1024];
+            while let Ok(read) = stream.read(&mut sink) {
+                if read == 0 {
+                    break;
+                }
+            }
+            return Ok(());
+        }
+        Err(HeadError::Closed) => return Ok(()), // shutdown wake / probe
+        Err(HeadError::Truncated) => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "truncated request\n",
+                &[],
+            );
+        }
+        Err(HeadError::Io(err)) => return Err(err),
+    };
+
+    let mut parts = head.lines().next().unwrap_or_default().split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request line\n",
+            &[],
+        );
+    };
+    if !version.starts_with("HTTP/") {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request line\n",
+            &[],
+        );
+    }
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+            &["Allow: GET"],
+        );
+    }
+
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &telemetry.prometheus(),
+            &[],
+        ),
+        "/healthz" => {
+            let (status, body) = healthz(telemetry, config);
+            respond(
+                &mut stream,
+                status,
+                "application/json; charset=utf-8",
+                &body,
+                &[],
+            )
+        }
+        "/trace.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json; charset=utf-8",
+            &telemetry.chrome_trace(),
+            &[],
+        ),
+        "/epochs.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json; charset=utf-8",
+            &telemetry.journal().to_json(),
+            &[],
+        ),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "unknown route; try /metrics /healthz /trace.json /epochs.json\n",
+            &[],
+        ),
+    }
+}
+
+/// Liveness JSON: `ok` while epochs keep landing (or none has yet),
+/// `stale` (HTTP 503) once the newest journal record is older than the
+/// configured threshold.
+fn healthz(telemetry: &Telemetry, config: &ObsServerConfig) -> (&'static str, String) {
+    let last_age = telemetry
+        .journal()
+        .last_at_seconds()
+        .map(|at| (telemetry.elapsed_seconds() - at).max(0.0));
+    let stale = last_age.is_some_and(|age| age > config.staleness_threshold.as_secs_f64());
+    let status = if stale {
+        "503 Service Unavailable"
+    } else {
+        "200 OK"
+    };
+    let body = format!(
+        "{{\"status\": \"{}\", \"epochs_recorded\": {}, \"last_epoch_age_seconds\": {}, \
+         \"staleness_threshold_seconds\": {:.3}, \"spans_dropped\": {}}}\n",
+        if stale { "stale" } else { "ok" },
+        telemetry.journal().recorded_total(),
+        match last_age {
+            Some(age) => format!("{age:.3}"),
+            None => "null".to_string(),
+        },
+        config.staleness_threshold.as_secs_f64(),
+        telemetry.dropped(),
+    );
+    (status, body)
+}
+
+enum HeadError {
+    /// Peer closed before sending any byte (e.g. the shutdown wake-up).
+    Closed,
+    /// Peer closed (or timed out) mid-head.
+    Truncated,
+    /// Head exceeded the configured byte cap.
+    TooLarge,
+    Io(io::Error),
+}
+
+/// Reads until the `\r\n\r\n` (or `\n\n`) head terminator, EOF, or the
+/// byte cap.
+fn read_request_head(stream: &mut TcpStream, max_bytes: usize) -> Result<String, HeadError> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        let read = match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    HeadError::Closed
+                } else {
+                    HeadError::Truncated
+                });
+            }
+            Ok(read) => read,
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HeadError::Truncated);
+            }
+            Err(err) => return Err(HeadError::Io(err)),
+        };
+        head.extend_from_slice(&chunk[..read]);
+        if head.len() > max_bytes {
+            return Err(HeadError::TooLarge);
+        }
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            return Ok(String::from_utf8_lossy(&head).into_owned());
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[&str],
+) -> io::Result<()> {
+    let mut response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n",
+        body.len(),
+    );
+    for header in extra_headers {
+        response.push_str(header);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::EpochMark;
+    use crate::recorder::{Phase, Recorder, SpanCtx};
+    use std::time::Instant;
+
+    fn serve_test_telemetry() -> (ObsServer, Arc<Telemetry>) {
+        let telemetry = Arc::new(Telemetry::isolated());
+        // One compute span and one applied epoch so every route has data.
+        let started = Instant::now().checked_sub(Duration::from_millis(5));
+        telemetry.span(
+            started,
+            SpanCtx {
+                epoch: 1,
+                superstep: 0,
+                worker: 2,
+            },
+            Phase::Compute,
+        );
+        telemetry.counter_add("ebv_bsp_messages_total", 7);
+        telemetry.epoch_applied(&EpochMark {
+            epoch: 1,
+            live_edges: 10,
+            ..EpochMark::default()
+        });
+        let server = ObsServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&telemetry),
+            ObsServerConfig::default(),
+        )
+        .expect("bind an ephemeral port");
+        (server, telemetry)
+    }
+
+    /// Sends raw bytes and returns the full response as a string.
+    fn roundtrip(addr: SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        roundtrip(
+            addr,
+            format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes(),
+        )
+    }
+
+    #[test]
+    fn all_four_routes_serve_wellformed_payloads() {
+        let (server, _telemetry) = serve_test_telemetry();
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("# TYPE ebv_bsp_messages_total counter"));
+        assert!(metrics.contains("ebv_worker_phase_seconds{worker=\"2\",phase=\"compute\"}"));
+
+        let healthz = get(addr, "/healthz");
+        assert!(healthz.starts_with("HTTP/1.1 200 OK"));
+        assert!(healthz.contains("\"status\": \"ok\""));
+        assert!(healthz.contains("\"epochs_recorded\": 1"));
+
+        let epochs = get(addr, "/epochs.json");
+        assert!(epochs.starts_with("HTTP/1.1 200 OK"));
+        assert!(epochs.contains("\"epoch\": 1"));
+        assert!(epochs.contains("\"phase_seconds\": {"));
+
+        // The trace route is non-destructive: two scrapes agree.
+        let first = get(addr, "/trace.json");
+        let second = get(addr, "/trace.json");
+        assert!(first.starts_with("HTTP/1.1 200 OK"));
+        assert!(first.contains("\"traceEvents\":["));
+        assert_eq!(
+            first.lines().skip(1).collect::<Vec<_>>(),
+            second.lines().skip(1).collect::<Vec<_>>(),
+        );
+
+        // Query strings are ignored for routing.
+        assert!(get(addr, "/metrics?x=1").starts_with("HTTP/1.1 200 OK"));
+
+        assert!(server.requests_served() >= 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_clean_errors_and_never_wedge_the_listener() {
+        let (server, _telemetry) = serve_test_telemetry();
+        let addr = server.local_addr();
+
+        // Unknown path.
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        // Bad method.
+        let post = roundtrip(addr, b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"));
+        assert!(post.contains("Allow: GET"));
+        // Garbage request line.
+        assert!(roundtrip(addr, b"garbage\r\n\r\n").starts_with("HTTP/1.1 400"));
+        // Not HTTP at all.
+        assert!(roundtrip(addr, b"GET /metrics SMTP\r\n\r\n").starts_with("HTTP/1.1 400"));
+        // Truncated head: bytes sent, then the client half-closes.
+        let mut truncated = TcpStream::connect(addr).expect("connect");
+        truncated.write_all(b"GET /metrics HT").expect("send");
+        truncated
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = String::new();
+        truncated.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"));
+        // Oversized head.
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(16 * 1024)
+        );
+        assert!(roundtrip(addr, huge.as_bytes()).starts_with("HTTP/1.1 431"));
+
+        // After all of the above the listener still serves.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_stale_epochs_with_503() {
+        let telemetry = Arc::new(Telemetry::isolated());
+        telemetry.epoch_applied(&EpochMark::default());
+        let server = ObsServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&telemetry),
+            ObsServerConfig {
+                staleness_threshold: Duration::from_millis(1),
+                ..ObsServerConfig::default()
+            },
+        )
+        .expect("bind");
+        std::thread::sleep(Duration::from_millis(10));
+        let healthz = get(server.local_addr(), "/healthz");
+        assert!(healthz.starts_with("HTTP/1.1 503"));
+        assert!(healthz.contains("\"status\": \"stale\""));
+        server.shutdown();
+
+        // With no epochs recorded there is nothing to be stale against.
+        let idle = Arc::new(Telemetry::isolated());
+        let server = ObsServer::bind(
+            "127.0.0.1:0",
+            idle,
+            ObsServerConfig {
+                staleness_threshold: Duration::from_millis(1),
+                ..ObsServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let healthz = get(server.local_addr(), "/healthz");
+        assert!(healthz.starts_with("HTTP/1.1 200 OK"));
+        assert!(healthz.contains("\"last_epoch_age_seconds\": null"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads_and_frees_the_port() {
+        let telemetry = Arc::new(Telemetry::isolated());
+        let server = ObsServer::bind(
+            "127.0.0.1:0",
+            telemetry,
+            ObsServerConfig {
+                threads: 3,
+                ..ObsServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        server.shutdown();
+        // The port is released: rebinding the exact address succeeds.
+        let rebound = TcpListener::bind(addr).expect("rebind after shutdown");
+        drop(rebound);
+    }
+}

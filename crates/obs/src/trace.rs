@@ -1,10 +1,15 @@
 //! The span tracer: a bounded lock-free ring of timed phase spans and the
 //! [`Telemetry`] recorder that feeds it, exportable as Chrome trace-event
-//! JSON (loadable in `chrome://tracing` or Perfetto).
+//! JSON (loadable in `chrome://tracing` or Perfetto), with per-worker
+//! phase attribution, a per-superstep straggler gauge and a bounded
+//! [`EpochJournal`] of applied mutation epochs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
+use crate::journal::{EpochJournal, EpochMark};
 use crate::recorder::{Phase, Recorder, SpanCtx};
 use crate::registry::MetricsRegistry;
 
@@ -25,27 +30,35 @@ pub struct SpanRecord {
 /// Sentinel sequence value marking a slot a writer currently owns.
 const WRITING: u64 = u64::MAX;
 
-/// A slot's payload, written only by the thread that claimed the slot.
-#[derive(Debug, Clone, Copy, Default)]
-struct SlotPayload {
-    phase: Phase,
-    ctx: SpanCtx,
-    start_nanos: u64,
-    duration_nanos: u64,
-}
-
+/// One ring slot. The payload is four plain atomic words (context packed
+/// as `epoch << 32 | superstep`, metadata as `worker << 32 | phase index`)
+/// so readers can take a *seqlock-style* snapshot concurrently with
+/// writers: no `UnsafeCell`, no `unsafe`, torn reads detected and
+/// discarded by re-checking `seq`.
 #[derive(Debug)]
 struct Slot {
     /// `0` = never written, `ticket + 1` = committed by that ticket,
     /// [`WRITING`] = a writer owns the slot right now.
     seq: AtomicU64,
-    payload: std::cell::UnsafeCell<SlotPayload>,
+    /// `epoch << 32 | superstep`.
+    ctx_bits: AtomicU64,
+    /// `worker << 32 | phase index` (into [`Phase::ALL`]).
+    meta_bits: AtomicU64,
+    start_nanos: AtomicU64,
+    duration_nanos: AtomicU64,
 }
 
-// SAFETY: `payload` is only written by the thread that atomically swapped
-// `seq` to WRITING (exclusive claim) and only read through `&mut self`
-// export methods, which statically guarantee no concurrent writer.
-unsafe impl Sync for Slot {}
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            ctx_bits: AtomicU64::new(0),
+            meta_bits: AtomicU64::new(0),
+            start_nanos: AtomicU64::new(0),
+            duration_nanos: AtomicU64::new(0),
+        }
+    }
+}
 
 /// A bounded lock-free multi-producer ring of [`SpanRecord`]s.
 ///
@@ -53,8 +66,10 @@ unsafe impl Sync for Slot {}
 /// `swap`, and drop the span (counting it) if another writer still owns
 /// the slot — no spinning, no locks on the hot path. When the ring wraps,
 /// the oldest spans are overwritten; [`SpanRing::dropped`] reports spans
-/// lost to slot contention. Export requires `&mut self`, which statically
-/// guarantees quiescence.
+/// lost to slot contention. [`SpanRing::snapshot`] reads the committed
+/// spans *without* stopping writers — slots that change mid-read are
+/// detected via their sequence word and skipped, so a live HTTP scrape
+/// never blocks or corrupts the hot path.
 #[derive(Debug)]
 pub struct SpanRing {
     slots: Box<[Slot]>,
@@ -69,12 +84,7 @@ impl SpanRing {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         SpanRing {
-            slots: (0..capacity)
-                .map(|_| Slot {
-                    seq: AtomicU64::new(0),
-                    payload: std::cell::UnsafeCell::new(SlotPayload::default()),
-                })
-                .collect(),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
             head: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
@@ -107,38 +117,56 @@ impl SpanRing {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        // SAFETY: the swap above granted this thread exclusive ownership of
-        // the slot until the Release store below.
-        unsafe {
-            *slot.payload.get() = SlotPayload {
-                phase: record.phase,
-                ctx: record.ctx,
-                start_nanos: record.start_nanos,
-                duration_nanos: record.duration_nanos,
-            };
-        }
+        let ctx_bits = (record.ctx.epoch as u64) << 32 | record.ctx.superstep as u64;
+        let meta_bits = (record.ctx.worker as u64) << 32 | record.phase.index() as u64;
+        slot.ctx_bits.store(ctx_bits, Ordering::Relaxed);
+        slot.meta_bits.store(meta_bits, Ordering::Relaxed);
+        slot.start_nanos
+            .store(record.start_nanos, Ordering::Relaxed);
+        slot.duration_nanos
+            .store(record.duration_nanos, Ordering::Relaxed);
         slot.seq.store(ticket + 1, Ordering::Release);
     }
 
-    /// Drains the committed spans in ticket order (oldest surviving span
-    /// first). Taking `&mut self` guarantees no writer is concurrent with
-    /// the read.
-    pub fn export(&mut self) -> Vec<SpanRecord> {
-        let head = *self.head.get_mut();
+    /// Reads the committed spans in ticket order (oldest surviving span
+    /// first) **without** draining the ring or stopping writers. Each slot
+    /// is validated seqlock-style: read the sequence word, read the
+    /// payload, re-check the sequence word — a slot a writer touched in
+    /// between fails the re-check and is skipped, exactly like a span
+    /// dropped to contention.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let head = self.head.load(Ordering::Acquire);
         let capacity = self.slots.len() as u64;
         let oldest = head.saturating_sub(capacity);
         let mut out = Vec::with_capacity((head - oldest) as usize);
         for ticket in oldest..head {
-            let slot = &mut self.slots[(ticket % capacity) as usize];
-            if *slot.seq.get_mut() != ticket + 1 {
-                continue; // dropped on contention, lapped, or never committed
+            let slot = &self.slots[(ticket % capacity) as usize];
+            if slot.seq.load(Ordering::Acquire) != ticket + 1 {
+                continue; // dropped, lapped, mid-write, or never committed
             }
-            let payload = *slot.payload.get_mut();
+            let ctx_bits = slot.ctx_bits.load(Ordering::Relaxed);
+            let meta_bits = slot.meta_bits.load(Ordering::Relaxed);
+            let start_nanos = slot.start_nanos.load(Ordering::Relaxed);
+            let duration_nanos = slot.duration_nanos.load(Ordering::Relaxed);
+            // The fence orders the payload loads before the sequence
+            // re-check: if `seq` is unchanged, no writer overlapped the
+            // reads above and the payload is a consistent commit.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != ticket + 1 {
+                continue;
+            }
+            let Some(phase) = Phase::from_index((meta_bits & u32::MAX as u64) as usize) else {
+                continue;
+            };
             out.push(SpanRecord {
-                phase: payload.phase,
-                ctx: payload.ctx,
-                start_nanos: payload.start_nanos,
-                duration_nanos: payload.duration_nanos,
+                phase,
+                ctx: SpanCtx {
+                    epoch: (ctx_bits >> 32) as u32,
+                    superstep: ctx_bits as u32,
+                    worker: (meta_bits >> 32) as u32,
+                },
+                start_nanos,
+                duration_nanos,
             });
         }
         out
@@ -149,9 +177,29 @@ impl SpanRing {
 /// [`Telemetry::new`] / [`Telemetry::isolated`].
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
+/// Cap on per-worker attribution tracks; spans from worker indices past
+/// the cap are folded into the last track.
+const MAX_WORKER_TRACKS: usize = 1024;
+
+/// The rolling per-superstep compute window behind the straggler gauge:
+/// compute-span durations accumulate per `(epoch, superstep)` key and the
+/// window finalizes (publishing max/mean) when the key advances — sound
+/// because the engine's barrier joins order every superstep-`S` compute
+/// span before the first span of `S + 1`.
+#[derive(Debug, Default)]
+struct StragglerWindow {
+    key: Option<(u32, u32)>,
+    compute_nanos: Vec<u64>,
+    last_ratio: f64,
+}
+
 /// The real [`Recorder`]: spans land in a bounded lock-free [`SpanRing`]
-/// with `Instant` timings *and* feed per-phase latency histograms;
-/// counters/gauges/histograms go to a [`MetricsRegistry`].
+/// with `Instant` timings *and* feed per-phase latency histograms, per-
+/// (worker, phase) wall-clock totals and the per-superstep straggler
+/// gauge; counters/gauges/histograms go to a [`MetricsRegistry`]; applied
+/// mutation epochs land in a bounded [`EpochJournal`]. Every read-side
+/// accessor takes `&self`, so an [`ObsServer`](crate::ObsServer) can
+/// export live from other threads while the run is hot.
 ///
 /// [`Telemetry::new`] reports into the process-wide
 /// [`MetricsRegistry::global`]; [`Telemetry::isolated`] uses a private
@@ -162,6 +210,11 @@ pub struct Telemetry {
     registry: MetricsRegistry,
     /// All span timestamps are offsets from this instant.
     origin: Instant,
+    /// Cumulative recorded nanoseconds per (worker, phase). Read-locked on
+    /// the span path; write-locked only to grow to a new worker index.
+    worker_totals: RwLock<Vec<[AtomicU64; Phase::COUNT]>>,
+    straggler: Mutex<StragglerWindow>,
+    journal: EpochJournal,
 }
 
 impl Default for Telemetry {
@@ -189,6 +242,9 @@ impl Telemetry {
             ring: SpanRing::new(capacity),
             registry,
             origin: Instant::now(),
+            worker_totals: RwLock::new(Vec::new()),
+            straggler: Mutex::new(StragglerWindow::default()),
+            journal: EpochJournal::default(),
         }
     }
 
@@ -197,46 +253,88 @@ impl Telemetry {
         &self.registry
     }
 
+    /// The journal of applied mutation epochs this tracer maintains.
+    pub fn journal(&self) -> &EpochJournal {
+        &self.journal
+    }
+
+    /// Seconds elapsed since the tracer's origin instant (the time base of
+    /// every span timestamp and journal record).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
     /// Spans dropped on ring-slot contention.
     pub fn dropped(&self) -> u64 {
         self.ring.dropped()
     }
 
-    /// The committed spans in ticket order (oldest first).
-    pub fn spans(&mut self) -> Vec<SpanRecord> {
-        self.ring.export()
+    /// The committed spans in ticket order (oldest first), read without
+    /// draining the ring or stopping writers.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.ring.snapshot()
     }
 
-    /// Total recorded wall-clock seconds per phase, summed over the spans
-    /// currently in the ring — the measured counterpart of the
-    /// `CostModel` breakdown. Returned in [`Phase::ALL`] order.
-    pub fn phase_totals(&mut self) -> Vec<(Phase, f64)> {
-        let spans = self.ring.export();
+    /// Cumulative recorded nanoseconds per phase (summed over workers), in
+    /// [`Phase::ALL`] order.
+    pub fn phase_nanos(&self) -> [u64; Phase::COUNT] {
+        let tracks = self.lock_tracks_read();
+        let mut out = [0u64; Phase::COUNT];
+        for track in tracks.iter() {
+            for (total, cell) in out.iter_mut().zip(track.iter()) {
+                *total += cell.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total recorded wall-clock seconds per phase since the tracer was
+    /// created — the measured counterpart of the `CostModel` breakdown.
+    /// Returned in [`Phase::ALL`] order. Unlike the span ring this is
+    /// cumulative: it never forgets spans to wrapping or contention.
+    pub fn phase_totals(&self) -> Vec<(Phase, f64)> {
+        let nanos = self.phase_nanos();
         Phase::ALL
             .iter()
-            .map(|&phase| {
-                let nanos: u64 = spans
-                    .iter()
-                    .filter(|s| s.phase == phase)
-                    .map(|s| s.duration_nanos)
-                    .sum();
-                (phase, nanos as f64 / 1e9)
+            .map(|&phase| (phase, nanos[phase.index()] as f64 / 1e9))
+            .collect()
+    }
+
+    /// Cumulative recorded wall-clock seconds per (worker, phase), indexed
+    /// `[worker][phase.index()]` — the data behind the labeled
+    /// `ebv_worker_phase_seconds` Prometheus families.
+    pub fn worker_phase_seconds(&self) -> Vec<[f64; Phase::COUNT]> {
+        self.lock_tracks_read()
+            .iter()
+            .map(|track| {
+                let mut seconds = [0.0f64; Phase::COUNT];
+                for (out, cell) in seconds.iter_mut().zip(track.iter()) {
+                    *out = cell.load(Ordering::Relaxed) as f64 / 1e9;
+                }
+                seconds
             })
             .collect()
     }
 
-    /// Renders the ring as a Chrome trace-event JSON document (complete
-    /// `ph: "X"` duration events; microsecond timestamps), loadable in
-    /// `chrome://tracing` or <https://ui.perfetto.dev>. Workers map to
-    /// `tid`s so each worker gets its own track; engine-side spans
-    /// (`worker == p`) land on their own track above the workers.
-    pub fn chrome_trace(&mut self) -> String {
-        use std::fmt::Write as _;
-        let spans = self.ring.export();
-        let mut out = String::from("{\"traceEvents\":[");
+    /// The most recently finalized per-superstep straggler ratio: max/mean
+    /// worker compute wall-clock of one superstep (1.0 = perfectly even;
+    /// 0.0 until a superstep has been finalized).
+    pub fn straggler_ratio(&self) -> f64 {
+        self.lock_straggler().last_ratio
+    }
+
+    /// Renders the ring as a Chrome trace-event JSON document into `out`
+    /// (complete `ph: "X"` duration events; microsecond timestamps),
+    /// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+    /// Workers map to `tid`s so each worker gets its own track;
+    /// engine-side spans (`worker == p`) land on their own track above the
+    /// workers. Non-destructive: concurrent with writers and repeatable.
+    pub fn chrome_trace_into<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        let spans = self.ring.snapshot();
+        out.write_str("{\"traceEvents\":[")?;
         for (i, span) in spans.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(
+            write!(
                 out,
                 "{sep}\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                  \"pid\":1,\"tid\":{},\"args\":{{\"epoch\":{},\"superstep\":{},\"worker\":{}}}}}",
@@ -248,10 +346,110 @@ impl Telemetry {
                 span.ctx.epoch,
                 span.ctx.superstep,
                 span.ctx.worker,
-            );
+            )?;
         }
-        out.push_str("\n]}\n");
+        out.write_str("\n]}\n")
+    }
+
+    /// [`chrome_trace_into`](Self::chrome_trace_into) into a fresh
+    /// `String`.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::new();
+        self.chrome_trace_into(&mut out)
+            .expect("writing to a String cannot fail");
         out
+    }
+
+    /// Renders the live registry in the Prometheus text exposition format
+    /// into `out`, followed by the labeled per-worker attribution families
+    /// (`ebv_worker_phase_seconds{worker="3",phase="compute"}`) the
+    /// bare-name registry cannot hold.
+    pub fn prometheus_into<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        self.registry.snapshot().to_prometheus_into(out)?;
+        let workers = self.worker_phase_seconds();
+        if workers
+            .iter()
+            .any(|track| track.iter().any(|&seconds| seconds > 0.0))
+        {
+            writeln!(out, "# TYPE ebv_worker_phase_seconds counter")?;
+            for (worker, track) in workers.iter().enumerate() {
+                for (i, &seconds) in track.iter().enumerate() {
+                    if seconds > 0.0 {
+                        writeln!(
+                            out,
+                            "ebv_worker_phase_seconds{{worker=\"{worker}\",phase=\"{}\"}} \
+                             {seconds:.9}",
+                            Phase::ALL[i].name(),
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`prometheus_into`](Self::prometheus_into) into a fresh `String`.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        self.prometheus_into(&mut out)
+            .expect("writing to a String cannot fail");
+        out
+    }
+
+    fn attribute(&self, worker: u32, phase: Phase, duration_nanos: u64) {
+        let index = (worker as usize).min(MAX_WORKER_TRACKS - 1);
+        {
+            let tracks = self.lock_tracks_read();
+            if let Some(track) = tracks.get(index) {
+                track[phase.index()].fetch_add(duration_nanos, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut tracks = self
+            .worker_totals
+            .write()
+            .expect("worker totals lock poisoned");
+        while tracks.len() <= index {
+            tracks.push(std::array::from_fn(|_| AtomicU64::new(0)));
+        }
+        tracks[index][phase.index()].fetch_add(duration_nanos, Ordering::Relaxed);
+    }
+
+    fn observe_compute(&self, ctx: SpanCtx, duration_nanos: u64) {
+        let mut window = self.lock_straggler();
+        let key = (ctx.epoch, ctx.superstep);
+        if window.key != Some(key) {
+            Telemetry::finalize_window(&self.registry, &mut window);
+            window.key = Some(key);
+        }
+        window.compute_nanos.push(duration_nanos);
+    }
+
+    /// Publishes the window's max/mean compute ratio (if it holds any
+    /// spans) to the `ebv_bsp_straggler_ratio` gauge and resets it.
+    fn finalize_window(registry: &MetricsRegistry, window: &mut StragglerWindow) {
+        window.key = None;
+        if window.compute_nanos.is_empty() {
+            return;
+        }
+        let max = *window.compute_nanos.iter().max().expect("non-empty") as f64;
+        let mean =
+            window.compute_nanos.iter().sum::<u64>() as f64 / window.compute_nanos.len() as f64;
+        window.last_ratio = if mean > 0.0 { max / mean } else { 1.0 };
+        window.compute_nanos.clear();
+        registry
+            .gauge("ebv_bsp_straggler_ratio")
+            .set(window.last_ratio);
+    }
+
+    fn lock_tracks_read(&self) -> std::sync::RwLockReadGuard<'_, Vec<[AtomicU64; Phase::COUNT]>> {
+        self.worker_totals
+            .read()
+            .expect("worker totals lock poisoned")
+    }
+
+    fn lock_straggler(&self) -> std::sync::MutexGuard<'_, StragglerWindow> {
+        self.straggler.lock().expect("straggler lock poisoned")
     }
 }
 
@@ -265,15 +463,20 @@ impl Recorder for Telemetry {
         let Some(started) = started else { return };
         let duration = started.elapsed();
         let start_nanos = started.saturating_duration_since(self.origin).as_nanos() as u64;
+        let duration_nanos = duration.as_nanos() as u64;
         self.ring.push(SpanRecord {
             phase,
             ctx,
             start_nanos,
-            duration_nanos: duration.as_nanos() as u64,
+            duration_nanos,
         });
         self.registry
             .histogram(phase.histogram_name())
             .observe(duration.as_secs_f64());
+        self.attribute(ctx.worker, phase, duration_nanos);
+        if phase == Phase::Compute {
+            self.observe_compute(ctx, duration_nanos);
+        }
     }
 
     fn counter_add(&self, name: &'static str, delta: u64) {
@@ -287,11 +490,28 @@ impl Recorder for Telemetry {
     fn observe_seconds(&self, name: &'static str, seconds: f64) {
         self.registry.histogram(name).observe(seconds);
     }
+
+    fn epoch_applied(&self, mark: &EpochMark) {
+        {
+            let mut window = self.lock_straggler();
+            Telemetry::finalize_window(&self.registry, &mut window);
+        }
+        let messages = self.registry.counter("ebv_bsp_messages_total").get();
+        self.journal.record(
+            *mark,
+            self.elapsed_seconds(),
+            self.phase_nanos(),
+            messages,
+            self.straggler_ratio(),
+            self.dropped(),
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn record(ticket_hint: u64) -> SpanRecord {
         SpanRecord {
@@ -306,13 +526,22 @@ mod tests {
         }
     }
 
+    /// A span whose duration the test controls: `started` is synthesized
+    /// `millis` in the past, so `started.elapsed()` measures ≈ `millis`.
+    fn timed_span(telemetry: &Telemetry, ctx: SpanCtx, phase: Phase, millis: u64) {
+        let started = Instant::now()
+            .checked_sub(Duration::from_millis(millis))
+            .expect("the clock reaches back a few milliseconds");
+        telemetry.span(Some(started), ctx, phase);
+    }
+
     #[test]
     fn ring_preserves_order_and_wraps() {
-        let mut ring = SpanRing::new(4);
+        let ring = SpanRing::new(4);
         for i in 0..6 {
             ring.push(record(i));
         }
-        let spans = ring.export();
+        let spans = ring.snapshot();
         // Capacity 4, pushed 6: the oldest two were overwritten.
         assert_eq!(spans.len(), 4);
         let supersteps: Vec<u32> = spans.iter().map(|s| s.ctx.superstep).collect();
@@ -343,15 +572,41 @@ mod tests {
                 });
             }
         });
-        let mut ring = ring;
         assert_eq!(ring.pushed(), 2000);
         // Nothing wrapped, so every span not dropped to contention survives.
-        assert_eq!(ring.export().len() as u64 + ring.dropped(), 2000);
+        assert_eq!(ring.snapshot().len() as u64 + ring.dropped(), 2000);
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive_and_concurrent_with_writers() {
+        let ring = SpanRing::new(1 << 8);
+        std::thread::scope(|scope| {
+            let writer = {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..20_000u64 {
+                        ring.push(record(i));
+                    }
+                })
+            };
+            // Scrape repeatedly while the writer laps the ring many times;
+            // every span a snapshot surfaces must be internally consistent.
+            while !writer.is_finished() {
+                for span in ring.snapshot() {
+                    assert_eq!(span.phase, Phase::Compute);
+                    assert_eq!(span.start_nanos, span.ctx.superstep as u64 * 10);
+                    assert_eq!(span.duration_nanos, 5);
+                }
+            }
+        });
+        // Non-destructive: repeated snapshots agree once writers are done.
+        assert_eq!(ring.snapshot(), ring.snapshot());
+        assert_eq!(ring.snapshot().len(), 1 << 8);
     }
 
     #[test]
     fn telemetry_records_spans_and_histograms() {
-        let mut telemetry = Telemetry::isolated();
+        let telemetry = Telemetry::isolated();
         let started = telemetry.start();
         assert!(started.is_some());
         let ctx = SpanCtx {
@@ -383,7 +638,7 @@ mod tests {
 
     #[test]
     fn chrome_trace_is_wellformed() {
-        let mut telemetry = Telemetry::isolated();
+        let telemetry = Telemetry::isolated();
         for worker in 0..2 {
             let started = telemetry.start();
             telemetry.span(
@@ -405,16 +660,16 @@ mod tests {
         assert!(json.contains("\"superstep\":4"));
         // Durations are clamped to ≥ 1µs so Perfetto renders them.
         assert!(!json.contains("\"dur\":0"));
+        // Non-destructive: a second render sees the same spans.
+        assert_eq!(json, telemetry.chrome_trace());
     }
 
     #[test]
     fn phase_totals_sum_durations() {
-        let mut telemetry = Telemetry::isolated();
+        let telemetry = Telemetry::isolated();
         let ctx = SpanCtx::default();
         for _ in 0..3 {
-            let started = telemetry.start();
-            std::thread::sleep(std::time::Duration::from_millis(1));
-            telemetry.span(started, ctx, Phase::Barrier);
+            timed_span(&telemetry, ctx, Phase::Barrier, 2);
         }
         let totals = telemetry.phase_totals();
         let barrier = totals
@@ -424,9 +679,81 @@ mod tests {
             .1;
         assert!(
             barrier >= 3e-3,
-            "3 × 1ms sleeps should sum past 3ms, got {barrier}"
+            "3 × 2ms spans should sum past 3ms, got {barrier}"
         );
         let gather = totals.iter().find(|(p, _)| *p == Phase::Gather).unwrap().1;
         assert_eq!(gather, 0.0);
+    }
+
+    #[test]
+    fn worker_attribution_feeds_labeled_families_and_straggler_gauge() {
+        let telemetry = Telemetry::isolated();
+        // Superstep 0: worker 1 computes 4× longer than workers 0 and 2.
+        for (worker, millis) in [(0u32, 5u64), (1, 20), (2, 5)] {
+            let ctx = SpanCtx {
+                epoch: 0,
+                superstep: 0,
+                worker,
+            };
+            timed_span(&telemetry, ctx, Phase::Compute, millis);
+        }
+        // The first span of superstep 1 finalizes superstep 0's window.
+        timed_span(
+            &telemetry,
+            SpanCtx {
+                epoch: 0,
+                superstep: 1,
+                worker: 0,
+            },
+            Phase::Compute,
+            5,
+        );
+
+        let workers = telemetry.worker_phase_seconds();
+        assert_eq!(workers.len(), 3);
+        // Worker 0 computed 5ms twice (supersteps 0 and 1), worker 1 20ms.
+        let compute = Phase::Compute.index();
+        assert!(workers[1][compute] > workers[0][compute] * 1.5);
+
+        // max/mean of (5, 20, 5) = 20/10 = 2, measured with real clocks.
+        let ratio = telemetry.straggler_ratio();
+        assert!((1.5..3.0).contains(&ratio), "straggler ratio {ratio}");
+        assert_eq!(
+            telemetry.registry().gauge("ebv_bsp_straggler_ratio").get(),
+            ratio
+        );
+
+        let prometheus = telemetry.prometheus();
+        assert!(prometheus.contains("# TYPE ebv_worker_phase_seconds counter"));
+        assert!(prometheus.contains("ebv_worker_phase_seconds{worker=\"1\",phase=\"compute\"}"));
+        assert!(prometheus.contains("# TYPE ebv_bsp_straggler_ratio gauge"));
+    }
+
+    #[test]
+    fn epoch_applied_records_into_the_journal() {
+        let telemetry = Telemetry::isolated();
+        timed_span(&telemetry, SpanCtx::default(), Phase::Compute, 3);
+        telemetry.counter_add("ebv_bsp_messages_total", 42);
+        let mark = EpochMark {
+            epoch: 1,
+            batch_index: 0,
+            apply_seconds: 0.004,
+            workers_touched: 2,
+            edges_rebuilt: 120,
+            edges_added: 50,
+            edges_removed: 10,
+            live_edges: 4000,
+            replication_factor: 1.4,
+            edge_imbalance: 1.1,
+        };
+        telemetry.epoch_applied(&mark);
+        assert_eq!(telemetry.journal().len(), 1);
+        let snapshot = telemetry.journal().last().expect("one epoch recorded");
+        assert_eq!(snapshot.mark, mark);
+        assert_eq!(snapshot.messages_delta, 42);
+        assert!(snapshot.compute_seconds() >= 2e-3);
+        // The pending compute window was force-finalized by the epoch.
+        assert!(snapshot.straggler_ratio > 0.0);
+        assert!(snapshot.at_seconds >= 0.0);
     }
 }

@@ -38,10 +38,16 @@
 //! `EBV_TRACE=out.json` writes a Chrome trace-event file (load it in
 //! `chrome://tracing` or <https://ui.perfetto.dev>) with one span per
 //! (epoch, superstep, worker, phase), `EBV_METRICS=out.prom` writes the
-//! metrics registry in Prometheus text exposition format, and a compact
-//! snapshot summary is always printed at the end. Tracing never perturbs
-//! the values — every exactness check holds with or without it.
+//! live metrics (including the per-worker `ebv_worker_phase_seconds`
+//! families) in Prometheus text exposition format, and a compact snapshot
+//! summary is always printed at the end. `EBV_OBS_ADDR=host:port`
+//! additionally serves the run *live* over HTTP while the churn loop is
+//! executing: `GET /metrics`, `/healthz`, `/trace.json` and
+//! `/epochs.json` (one journal snapshot per applied epoch). Tracing and
+//! serving never perturb the values — every exactness check holds with or
+//! without them.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ebv::algorithms::{
@@ -51,7 +57,7 @@ use ebv::algorithms::{
 use ebv::bsp::{BspEngine, BspOutcome, DistributedGraph};
 use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
 use ebv::graph::{GraphBuilder, VertexId};
-use ebv::obs::{MetricsRegistry, Phase, Recorder, SpanCtx, Telemetry};
+use ebv::obs::{MetricsRegistry, ObsServer, ObsServerConfig, Phase, Recorder, SpanCtx, Telemetry};
 use ebv::partition::{EbvPartitioner, PartitionMetrics, RebalanceConfig, StreamConfig};
 use ebv::stream::{EdgeSource, RmatEdgeStream};
 
@@ -130,8 +136,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The telemetry plane observes the whole run: spans from every BSP
     // execution, mutation epoch and warm-start below land in one ring
     // (sized for the ~30k spans this pipeline produces), metrics in the
-    // process-wide registry.
-    let mut telemetry = Telemetry::with_capacity(MetricsRegistry::global().clone(), 1 << 17);
+    // process-wide registry, applied epochs in the bounded journal. The
+    // `Arc` exists only for the optional live server; the run itself works
+    // through a plain shared reference.
+    let telemetry_arc = Arc::new(Telemetry::with_capacity(
+        MetricsRegistry::global().clone(),
+        1 << 17,
+    ));
+    let telemetry: &Telemetry = &telemetry_arc;
+
+    // `EBV_OBS_ADDR=host:port` serves the four live routes while the churn
+    // loop runs. A bad address is rejected loudly, like a bad `EBV_MODE`.
+    let obs_server = match std::env::var("EBV_OBS_ADDR") {
+        Ok(addr) => {
+            let server = ObsServer::bind(
+                addr.as_str(),
+                Arc::clone(&telemetry_arc),
+                ObsServerConfig::default(),
+            )
+            .unwrap_or_else(|err| panic!("EBV_OBS_ADDR {addr:?} did not bind: {err}"));
+            println!(
+                "live observability on http://{}/ — /metrics /healthz /trace.json /epochs.json\n",
+                server.local_addr(),
+            );
+            Some(server)
+        }
+        Err(std::env::VarError::NotPresent) => None,
+        Err(err) => panic!("EBV_OBS_ADDR is not valid UTF-8: {err}"),
+    };
 
     // ── Phase 1: churned ingestion through `run_applied` — one
     //    *incremental* apply_mutations epoch per batch; CC labels, SSSP
@@ -147,16 +179,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Values of the empty distribution: every vertex its own component,
     // everything but the source unreachable.
-    let mut labels = cc(&distributed, &telemetry).values;
+    let mut labels = cc(&distributed, telemetry).values;
     let mut distances = engine
         .run_with(
             &distributed,
             &SingleSourceShortestPath::new(source),
-            &telemetry,
+            telemetry,
         )?
         .values;
     let mut depths = engine
-        .run_with(&distributed, &BreadthFirstSearch::new(source), &telemetry)?
+        .run_with(&distributed, &BreadthFirstSearch::new(source), telemetry)?
         .values;
     let mut warm_cc_time = Duration::ZERO;
     let mut warm_sssp_time = Duration::ZERO;
@@ -189,7 +221,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
             telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
             labels = engine
-                .run_warm_with(dg, &cc_program, &labels, &telemetry)?
+                .run_warm_with(dg, &cc_program, &labels, telemetry)?
                 .values;
             warm_cc_time += warm_started.elapsed();
             let warm_started = Instant::now();
@@ -197,7 +229,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
             telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
             distances = engine
-                .run_warm_with(dg, &sssp_program, &distances, &telemetry)?
+                .run_warm_with(dg, &sssp_program, &distances, telemetry)?
                 .values;
             warm_sssp_time += warm_started.elapsed();
             let warm_started = Instant::now();
@@ -205,7 +237,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let bfs_program = IncrementalBfs::from_distributed(source, dg, &depths, batch);
             telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
             depths = engine
-                .run_warm_with(dg, &bfs_program, &depths, &telemetry)?
+                .run_warm_with(dg, &bfs_program, &depths, telemetry)?
                 .values;
             warm_bfs_time += warm_started.elapsed();
             println!(
@@ -223,7 +255,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             Ok(())
         },
-        &telemetry,
+        telemetry,
     )?;
     let elapsed = started.elapsed();
     let events = report.total_inserts() + report.total_deletes();
@@ -244,12 +276,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // are bit-identical to a cold CC run, which in turn equals CC on a
     // fresh batch build of the survivors.
     let cold_started = Instant::now();
-    let cc_cold = cc(&distributed, &telemetry);
+    let cc_cold = cc(&distributed, telemetry);
     let cold_cc_time = cold_started.elapsed();
     assert_eq!(labels, cc_cold.values, "warm CC must be bit-identical");
     assert_eq!(
         cc_cold.values,
-        cc(&fresh_build(&partitioner)?, &telemetry).values
+        cc(&fresh_build(&partitioner)?, telemetry).values
     );
     let mut components = labels.clone();
     components.sort_unstable();
@@ -272,7 +304,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sssp_cold = engine.run_with(
         &distributed,
         &SingleSourceShortestPath::new(source),
-        &telemetry,
+        telemetry,
     )?;
     let sssp_cold_time = cold_started.elapsed();
     assert_eq!(
@@ -280,7 +312,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "warm SSSP must be distance-equal"
     );
     let cold_started = Instant::now();
-    let bfs_cold = engine.run_with(&distributed, &BreadthFirstSearch::new(source), &telemetry)?;
+    let bfs_cold = engine.run_with(&distributed, &BreadthFirstSearch::new(source), telemetry)?;
     let bfs_cold_time = cold_started.elapsed();
     assert_eq!(depths, bfs_cold.values, "warm BFS must be bit-identical");
     assert_eq!(distances, depths, "unit-weight SSSP and BFS agree");
@@ -311,20 +343,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let local_program = IncrementalConnectedComponents::from_batch(&labels, &local_batch);
     let local_started = Instant::now();
-    let stats = distributed.apply_mutations_with(&local_batch, &telemetry)?;
+    let stats = distributed.apply_mutations_with(&local_batch, telemetry)?;
     labels = engine
-        .run_warm_with(&distributed, &local_program, &labels, &telemetry)?
+        .run_warm_with(&distributed, &local_program, &labels, telemetry)?
         .values;
     assert_eq!(
         stats.workers_touched, 1,
         "single-worker batch re-assembles one worker"
     );
     println!(
-        "localized epoch: {} deletions confined to worker 0 touched {}/{WORKERS} workers \
-         ({} edges re-indexed, epoch+warm CC in {:.2?})\n",
+        "localized epoch: {} deletions confined to worker 0 — {stats} \
+         (epoch+warm CC in {:.2?})\n",
         local_batch.len(),
-        stats.workers_touched,
-        stats.edges_rebuilt,
         local_started.elapsed(),
     );
 
@@ -332,7 +362,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pr_cold = engine.run_with(
         &distributed,
         &IncrementalPageRank::from_distributed(&distributed, PR_ITERATIONS),
-        &telemetry,
+        telemetry,
     )?;
     // One more churned batch on top of the ranked graph.
     let extra = ChurnStream::new(
@@ -344,18 +374,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cc_prior = labels.clone();
     EventPipeline::new(BATCH).run(extra, &mut partitioner, |batch, _| {
         extra_cc_program.absorb(&cc_prior, batch);
-        distributed.apply_mutations_with(batch, &telemetry)?;
+        distributed.apply_mutations_with(batch, telemetry)?;
         Ok(())
     })?;
     // Warm-start with a quarter of the iteration budget: near the old
     // fixpoint the contraction has that much less error to burn down.
     let warm_program = IncrementalPageRank::from_distributed(&distributed, PR_WARM_ITERATIONS);
     let warm_started = Instant::now();
-    let pr_warm = engine.run_warm_with(&distributed, &warm_program, &pr_cold.values, &telemetry)?;
+    let pr_warm = engine.run_warm_with(&distributed, &warm_program, &pr_cold.values, telemetry)?;
     let pr_warm_time = warm_started.elapsed();
     let cold_program = IncrementalPageRank::from_distributed(&distributed, PR_ITERATIONS);
     let cold_started = Instant::now();
-    let pr_cold_after = engine.run_with(&distributed, &cold_program, &telemetry)?;
+    let pr_cold_after = engine.run_with(&distributed, &cold_program, telemetry)?;
     let pr_cold_time = cold_started.elapsed();
     let max_diff = ranks(&pr_warm.values)
         .iter()
@@ -370,9 +400,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pr_warm.stats, pr_cold_after.stats,
     );
     // Warm CC absorbed the same extra batches and still agrees.
-    let warm_cc = engine.run_warm_with(&distributed, &extra_cc_program, &cc_prior, &telemetry)?;
+    let warm_cc = engine.run_warm_with(&distributed, &extra_cc_program, &cc_prior, telemetry)?;
     labels = warm_cc.values;
-    assert_eq!(labels, cc(&distributed, &telemetry).values);
+    assert_eq!(labels, cc(&distributed, telemetry).values);
     println!("warm CC re-validated after the extra churn epoch\n");
 
     // ── Phase 3: skew + one rebalance epoch ──────────────────────────────
@@ -389,7 +419,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         skew_batch.record_delete(*edge, part);
     }
     let skew_program = IncrementalConnectedComponents::from_batch(&labels, &skew_batch);
-    distributed.apply_mutations_with(&skew_batch, &telemetry)?;
+    distributed.apply_mutations_with(&skew_batch, telemetry)?;
 
     let config = RebalanceConfig::new()
         .with_max_edge_imbalance(1.25)
@@ -415,11 +445,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rebalance_program = skew_program;
     let migration_batch = batch_from_plan(&plan);
     rebalance_program.absorb(&labels_before_skew, &migration_batch);
-    let stats = distributed.apply_mutations_with(&migration_batch, &telemetry)?;
-    println!(
-        "migration epoch touched {}/{WORKERS} workers ({} local edges re-indexed)",
-        stats.workers_touched, stats.edges_rebuilt
-    );
+    let stats = distributed.apply_mutations_with(&migration_batch, telemetry)?;
+    println!("migration epoch: {stats}");
     assert_eq!(distributed.num_edges(), partitioner.live_edges());
     assert_metrics_recompute_exactly(&partitioner)?;
     let labels_after = engine
@@ -427,13 +454,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &distributed,
             &rebalance_program,
             &labels_before_skew,
-            &telemetry,
+            telemetry,
         )?
         .values;
-    assert_eq!(labels_after, cc(&distributed, &telemetry).values);
+    assert_eq!(labels_after, cc(&distributed, telemetry).values);
     assert_eq!(
         labels_after,
-        cc(&fresh_build(&partitioner)?, &telemetry).values
+        cc(&fresh_build(&partitioner)?, telemetry).values
     );
     println!(
         "warm CC(rebalanced, epoch {}) == cold == CC(fresh build): migration preserved every \
@@ -485,6 +512,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {:<17} {seconds:>9.4}s", phase.name());
         }
     }
+    let journal = telemetry.journal();
+    println!(
+        "epoch journal: {} epochs recorded ({} retained), last superstep straggler ratio {:.2}",
+        journal.recorded_total(),
+        journal.len(),
+        telemetry.straggler_ratio(),
+    );
     if let Ok(path) = std::env::var("EBV_TRACE") {
         let trace = telemetry.chrome_trace();
         std::fs::write(&path, &trace)?;
@@ -495,8 +529,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if let Ok(path) = std::env::var("EBV_METRICS") {
-        std::fs::write(&path, snapshot.to_prometheus())?;
+        // The live exposition: the registry snapshot plus the labeled
+        // per-worker attribution families — exactly what `/metrics` serves.
+        std::fs::write(&path, telemetry.prometheus())?;
         println!("wrote Prometheus metrics to {path}");
+    }
+    if let Some(server) = obs_server {
+        println!(
+            "obs server on http://{}/ served {} requests; shutting down",
+            server.local_addr(),
+            server.requests_served(),
+        );
+        server.shutdown();
     }
     Ok(())
 }
