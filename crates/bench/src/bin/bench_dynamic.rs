@@ -395,6 +395,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seconds: cc_cold_threaded_seconds,
             state_bytes: 0,
         });
+        // Pool-persistence measurement: an epoch loop of cold CC runs with
+        // the shared worker pool held across epochs (`Threaded` — parked
+        // threads, zero spawns after warm-up) against the same loop on the
+        // legacy spawn-per-superstep placement (`SpawnPerStep` — scoped
+        // threads created and joined every superstep). Both engines are
+        // bit-identical to the sequential reference; the delta is pure
+        // spawn/join overhead. Best of five samples, each timing a
+        // three-epoch loop, same noise defences as the gated pair above.
+        const POOL_EPOCHS: usize = 3;
+        type EpochLoopSample = (f64, Option<ebv_bsp::BspOutcome<u64>>);
+        let epoch_loop_best_of =
+            |engine: BspEngine| -> Result<EpochLoopSample, Box<dyn std::error::Error>> {
+                // Warm-up outside the timed window: the shared pool spawns
+                // its threads on first touch, and both sides fault their
+                // buffers in.
+                let mut outcome =
+                    Some(engine.run(&route_distributed, &ConnectedComponents::new())?);
+                let mut best = f64::INFINITY;
+                for _ in 0..5 {
+                    let started = Instant::now();
+                    for _ in 0..POOL_EPOCHS {
+                        outcome =
+                            Some(engine.run(&route_distributed, &ConnectedComponents::new())?);
+                    }
+                    best = best.min(started.elapsed().as_secs_f64());
+                }
+                Ok((best, outcome))
+            };
+        let spawns_before = ebv_bsp::pool_threads_spawned();
+        let (pooled_loop_seconds, pooled_outcome) = epoch_loop_best_of(BspEngine::threaded())?;
+        let pool_spawn_delta = ebv_bsp::pool_threads_spawned() - spawns_before;
+        let (spawn_loop_seconds, spawn_outcome) = epoch_loop_best_of(BspEngine::spawn_per_step())?;
+        let pooled_outcome = pooled_outcome.expect("pooled epoch loop produced an outcome");
+        let spawn_outcome = spawn_outcome.expect("spawn-per-step epoch loop produced an outcome");
+        assert_eq!(
+            pooled_outcome.values, pair_sequential.values,
+            "pooled CC must be bit-identical to the sequential reference"
+        );
+        assert_eq!(
+            spawn_outcome.values, pair_sequential.values,
+            "spawn-per-step CC must be bit-identical to the sequential reference"
+        );
+        assert_eq!(pooled_outcome.stats, spawn_outcome.stats);
+        assert!(
+            pool_spawn_delta <= ebv_bsp::shared_worker_pool().threads() as u64,
+            "the shared pool must not spawn per epoch (spawned {pool_spawn_delta} threads \
+             across {POOL_EPOCHS}+ epochs)"
+        );
+        rows.push(Measurement {
+            name: "cc_cold_pooled_spawn_free",
+            items: "labels",
+            count: route_distributed.num_vertices() * POOL_EPOCHS,
+            seconds: pooled_loop_seconds,
+            state_bytes: 0,
+        });
+        rows.push(Measurement {
+            name: "cc_cold_spawn_per_superstep",
+            items: "labels",
+            count: route_distributed.num_vertices() * POOL_EPOCHS,
+            seconds: spawn_loop_seconds,
+            state_bytes: 0,
+        });
+        println!(
+            "pool persistence: {POOL_EPOCHS}-epoch pooled loop {pooled_loop_seconds:.4}s \
+             ({pool_spawn_delta} threads spawned) vs spawn-per-superstep floor \
+             {spawn_loop_seconds:.4}s ({:.2}x)",
+            spawn_loop_seconds / pooled_loop_seconds,
+        );
+
         // Trace-overhead measurement: the same sequential cold CC with a
         // live Telemetry recorder (spans into the lock-free ring + phase
         // histograms), gated in CI as cc_traced/cc_cold_sequential <= 1.05.

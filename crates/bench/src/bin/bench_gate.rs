@@ -17,6 +17,13 @@
 //! slower than b" (e.g. warm epochs must beat cold re-execution). Missing
 //! measurements or malformed files fail the gate — it is fail-closed.
 //!
+//! A gate may carry a `"min_cpus"` field: speedup caps below 1.0 are only
+//! physically reachable on multi-core hosts, so such entries are enforced
+//! on CI's 4-vCPU runners and *skipped with a printed note* on smaller
+//! machines. Skipping never loosens fail-closed-ness: the gated
+//! measurements must still exist in the report, and the unconditional
+//! entries still apply everywhere.
+//!
 //! The vendored serde stand-in has no JSON backend, so both files are read
 //! with a minimal scanner for the flat schemas this repo emits.
 
@@ -69,30 +76,71 @@ fn parse_measurements(json: &str) -> Result<Vec<(String, f64)>, String> {
         .collect()
 }
 
-/// The `(numerator, denominator, max_ratio)` caps of the baseline file.
-fn parse_baseline(json: &str) -> Result<Vec<(String, String, f64)>, String> {
-    let names = scan_values(json, "ratio");
-    let maxima = scan_values(json, "max");
-    if names.is_empty() || names.len() != maxima.len() {
-        return Err(format!(
-            "malformed baseline: {} ratios vs {} max values",
-            names.len(),
-            maxima.len()
-        ));
+/// One baseline entry: `numerator/denominator <= max`, optionally only
+/// enforced on hosts with at least `min_cpus` logical CPUs.
+#[derive(Debug, PartialEq)]
+struct Gate {
+    numerator: String,
+    denominator: String,
+    max: f64,
+    min_cpus: Option<usize>,
+}
+
+/// The caps of the baseline file. Each gate object is scanned on its own
+/// (between its braces) so the optional `min_cpus` field cannot shear the
+/// positional `ratio`/`max` alignment.
+fn parse_baseline(json: &str) -> Result<Vec<Gate>, String> {
+    let mut gates = Vec::new();
+    for chunk in json.split('{').filter(|chunk| chunk.contains("\"ratio\"")) {
+        let object = &chunk[..chunk.find('}').unwrap_or(chunk.len())];
+        let ratio = match scan_values(object, "ratio").as_slice() {
+            [one] => one.clone(),
+            other => {
+                return Err(format!(
+                    "malformed baseline: a gate object holds {} ratio keys",
+                    other.len()
+                ))
+            }
+        };
+        let max = match scan_values(object, "max").as_slice() {
+            [one] => one.clone(),
+            other => {
+                return Err(format!(
+                    "baseline ratio {ratio}: expected one max, found {}",
+                    other.len()
+                ))
+            }
+        };
+        let (a, b) = ratio
+            .split_once('/')
+            .ok_or_else(|| format!("baseline ratio {ratio:?} is not \"a/b\""))?;
+        let cap = max
+            .parse::<f64>()
+            .map_err(|_| format!("baseline ratio {ratio}: unparseable max {max:?}"))?;
+        let min_cpus = match scan_values(object, "min_cpus").as_slice() {
+            [] => None,
+            [one] => Some(
+                one.parse::<usize>()
+                    .map_err(|_| format!("baseline ratio {ratio}: unparseable min_cpus {one:?}"))?,
+            ),
+            other => {
+                return Err(format!(
+                    "baseline ratio {ratio}: expected at most one min_cpus, found {}",
+                    other.len()
+                ))
+            }
+        };
+        gates.push(Gate {
+            numerator: a.to_string(),
+            denominator: b.to_string(),
+            max: cap,
+            min_cpus,
+        });
     }
-    names
-        .into_iter()
-        .zip(maxima)
-        .map(|(ratio, max)| {
-            let (a, b) = ratio
-                .split_once('/')
-                .ok_or_else(|| format!("baseline ratio {ratio:?} is not \"a/b\""))?;
-            let cap = max
-                .parse::<f64>()
-                .map_err(|_| format!("baseline ratio {ratio}: unparseable max {max:?}"))?;
-            Ok((a.to_string(), b.to_string(), cap))
-        })
-        .collect()
+    if gates.is_empty() {
+        return Err("malformed baseline: no gate objects found".to_string());
+    }
+    Ok(gates)
 }
 
 fn seconds_of(measurements: &[(String, f64)], name: &str) -> Result<f64, String> {
@@ -103,20 +151,27 @@ fn seconds_of(measurements: &[(String, f64)], name: &str) -> Result<f64, String>
         .ok_or_else(|| format!("measurement {name:?} missing from the bench report"))
 }
 
-fn run(bench_path: &Path, baseline_path: &Path) -> Result<bool, String> {
+fn run(bench_path: &Path, baseline_path: &Path, host_cpus: usize) -> Result<bool, String> {
     let bench = std::fs::read_to_string(bench_path)
         .map_err(|e| format!("cannot read {}: {e}", bench_path.display()))?;
     let baseline = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
     let measurements = parse_measurements(&bench)?;
-    let caps = parse_baseline(&baseline)?;
-    if caps.is_empty() {
-        return Err("the baseline gates nothing".to_string());
-    }
+    let gates = parse_baseline(&baseline)?;
 
     let mut ok = true;
-    println!("bench-regression gate: {}", bench_path.display());
-    for (numerator, denominator, cap) in &caps {
+    println!(
+        "bench-regression gate: {} (host cpus: {host_cpus})",
+        bench_path.display()
+    );
+    for gate in &gates {
+        let Gate {
+            numerator,
+            denominator,
+            max: cap,
+            min_cpus,
+        } = gate;
+        // Fail-closed even for skipped gates: the measurements must exist.
         let a = seconds_of(&measurements, numerator)?;
         let b = seconds_of(&measurements, denominator)?;
         if b <= 0.0 {
@@ -125,6 +180,15 @@ fn run(bench_path: &Path, baseline_path: &Path) -> Result<bool, String> {
             ));
         }
         let ratio = a / b;
+        if let Some(needed) = min_cpus {
+            if host_cpus < *needed {
+                println!(
+                    "  {numerator}/{denominator}: {ratio:.3} (max {cap:.3}) skipped — \
+                     needs >= {needed} cpus, host has {host_cpus}"
+                );
+                continue;
+            }
+        }
         let verdict = if ratio <= *cap { "ok" } else { "REGRESSED" };
         println!("  {numerator}/{denominator}: {ratio:.3} (max {cap:.3}) {verdict}");
         if ratio > *cap {
@@ -146,7 +210,8 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|| workspace_root.join(".github").join("bench_baseline.json"));
 
-    match run(&bench_path, &baseline_path) {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match run(&bench_path, &baseline_path, host_cpus) {
         Ok(true) => {
             println!("all gated ratios within baseline");
             ExitCode::SUCCESS
@@ -189,9 +254,34 @@ mod tests {
         let caps = parse_baseline(r#"{"gates": [{"ratio": "cc_warm_epoch/cc_cold", "max": 1.0}]}"#)
             .unwrap();
         assert_eq!(caps.len(), 1);
-        assert_eq!(caps[0].0, "cc_warm_epoch");
-        assert_eq!(caps[0].1, "cc_cold");
-        assert!((caps[0].2 - 1.0).abs() < 1e-12);
+        assert_eq!(caps[0].numerator, "cc_warm_epoch");
+        assert_eq!(caps[0].denominator, "cc_cold");
+        assert!((caps[0].max - 1.0).abs() < 1e-12);
+        assert_eq!(caps[0].min_cpus, None);
+    }
+
+    #[test]
+    fn min_cpus_is_parsed_per_gate_without_shearing_alignment() {
+        // The cpu-gated entry sits between two plain ones: a positional
+        // scanner would mis-align, the per-object scanner must not.
+        let caps = parse_baseline(
+            r#"{"gates": [
+                {"ratio": "a/b", "max": 1.0},
+                {"ratio": "c/d", "max": 0.65, "min_cpus": 4},
+                {"ratio": "e/f", "max": 1.25}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(caps.len(), 3);
+        assert_eq!(caps[0].min_cpus, None);
+        assert_eq!(caps[1].numerator, "c");
+        assert!((caps[1].max - 0.65).abs() < 1e-12);
+        assert_eq!(caps[1].min_cpus, Some(4));
+        assert_eq!(caps[2].min_cpus, None);
+        assert!(
+            parse_baseline(r#"{"gates": [{"ratio": "a/b", "max": 1.0, "min_cpus": "x"}]}"#)
+                .is_err()
+        );
     }
 
     #[test]
@@ -204,8 +294,8 @@ mod tests {
     }
 
     /// The checked-in baseline must parse and keep gating the series CI
-    /// depends on — in particular the threaded-vs-sequential cap of the
-    /// parallel message plane (the gate is fail-closed: a missing
+    /// depends on — in particular the threaded-vs-sequential caps of the
+    /// persistent-pool engine (the gate is fail-closed: a missing
     /// measurement or a dropped entry fails CI, this test catches the
     /// dropped-entry half without a bench run).
     #[test]
@@ -217,19 +307,34 @@ mod tests {
             .join("bench_baseline.json");
         let baseline = std::fs::read_to_string(&baseline_path).unwrap();
         let caps = parse_baseline(&baseline).unwrap();
-        for (numerator, denominator, cap) in [
-            ("cc_cold_threaded", "cc_cold_sequential", 1.0),
-            ("cc_traced", "cc_cold_sequential", 1.05),
-            ("cc_served", "cc_cold_sequential", 1.05),
-            ("cc_warm_epoch", "cc_cold", 1.0),
-            ("sssp_warm_epoch", "sssp_cold", 1.0),
-            ("bfs_warm_epoch", "bfs_cold", 1.0),
+        for (numerator, denominator, cap, min_cpus) in [
+            ("cc_cold_threaded", "cc_cold_sequential", 1.0, Some(2)),
+            ("cc_cold_threaded", "cc_cold_sequential", 0.65, Some(4)),
+            (
+                "cc_cold_pooled_spawn_free",
+                "cc_cold_spawn_per_superstep",
+                1.0,
+                Some(4),
+            ),
+            ("cc_traced", "cc_cold_sequential", 1.05, None),
+            ("cc_served", "cc_cold_sequential", 1.05, None),
+            ("cc_warm_epoch", "cc_cold", 1.0, None),
+            ("sssp_warm_epoch", "sssp_cold", 1.0, None),
+            ("bfs_warm_epoch", "bfs_cold", 1.0, None),
         ] {
             let gate = caps
                 .iter()
-                .find(|(a, b, _)| a == numerator && b == denominator)
-                .unwrap_or_else(|| panic!("baseline lost the {numerator}/{denominator} gate"));
-            assert!(gate.2 <= cap, "{numerator}/{denominator} cap loosened");
+                .find(|g| {
+                    g.numerator == numerator
+                        && g.denominator == denominator
+                        && g.min_cpus == min_cpus
+                })
+                .unwrap_or_else(|| {
+                    panic!(
+                        "baseline lost the {numerator}/{denominator} (min_cpus {min_cpus:?}) gate"
+                    )
+                });
+            assert!(gate.max <= cap, "{numerator}/{denominator} cap loosened");
         }
     }
 
@@ -246,7 +351,7 @@ mod tests {
             r#"{"gates": [{"ratio": "cc_warm_epoch/cc_cold", "max": 1.0}]}"#,
         )
         .unwrap();
-        assert!(run(&bench, &passing).unwrap());
+        assert!(run(&bench, &passing, 1).unwrap());
 
         let failing = dir.join("failing.json");
         std::fs::write(
@@ -254,6 +359,36 @@ mod tests {
             r#"{"gates": [{"ratio": "cc_cold/cc_warm_epoch", "max": 1.0}]}"#,
         )
         .unwrap();
-        assert!(!run(&bench, &failing).unwrap());
+        assert!(!run(&bench, &failing, 1).unwrap());
+    }
+
+    /// `min_cpus` gates are enforced on big hosts, skipped (with the
+    /// measurements still required) on small ones.
+    #[test]
+    fn cpu_gated_entries_skip_below_their_floor_and_enforce_at_it() {
+        let dir = std::env::temp_dir().join("ebv_bench_gate_cpu_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("bench.json");
+        std::fs::write(&bench, REPORT).unwrap();
+
+        // cc_cold/cc_warm_epoch = 4.0 violates the cap, but the gate only
+        // applies on >= 4 cpus.
+        let gated = dir.join("gated.json");
+        std::fs::write(
+            &gated,
+            r#"{"gates": [{"ratio": "cc_cold/cc_warm_epoch", "max": 1.0, "min_cpus": 4}]}"#,
+        )
+        .unwrap();
+        assert!(run(&bench, &gated, 1).unwrap(), "skipped below the floor");
+        assert!(!run(&bench, &gated, 4).unwrap(), "enforced at the floor");
+
+        // Skipping is not a loophole: a missing measurement still fails.
+        let missing = dir.join("missing.json");
+        std::fs::write(
+            &missing,
+            r#"{"gates": [{"ratio": "sssp_cold/cc_warm_epoch", "max": 1.0, "min_cpus": 4096}]}"#,
+        )
+        .unwrap();
+        assert!(run(&bench, &missing, 1).is_err());
     }
 }

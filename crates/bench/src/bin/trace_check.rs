@@ -53,11 +53,16 @@ const SCRAPED_PHASES: [&str; 7] = [
     "epoch_apply",
 ];
 
-/// Metric families the Prometheus snapshot must expose.
-const REQUIRED_METRICS: [&str; 3] = [
+/// Metric families the Prometheus snapshot must expose. The pool trio
+/// (queue-wait histogram, lane-width gauge, work-skew gauge) is emitted by
+/// the executor seam on every instrumented run, in every execution mode.
+const REQUIRED_METRICS: [&str; 6] = [
     "ebv_bsp_supersteps_total",
     "ebv_mutation_epochs_total",
     "ebv_phase_compute_seconds_bucket",
+    "ebv_bsp_pool_queue_wait_seconds_bucket",
+    "ebv_bsp_pool_chunk_workers",
+    "ebv_bsp_work_max_mean_ratio",
 ];
 
 /// Extracts every string or number value keyed by `key` from a flat JSON
@@ -391,10 +396,20 @@ mod tests {
                     # TYPE ebv_mutation_epochs_total counter\n\
                     ebv_mutation_epochs_total 3\n\
                     # TYPE ebv_phase_compute_seconds histogram\n\
-                    ebv_phase_compute_seconds_bucket{le=\"+Inf\"} 9\n";
+                    ebv_phase_compute_seconds_bucket{le=\"+Inf\"} 9\n\
+                    # TYPE ebv_bsp_pool_queue_wait_seconds histogram\n\
+                    ebv_bsp_pool_queue_wait_seconds_bucket{le=\"+Inf\"} 9\n\
+                    # TYPE ebv_bsp_pool_chunk_workers gauge\n\
+                    ebv_bsp_pool_chunk_workers 4\n\
+                    # TYPE ebv_bsp_work_max_mean_ratio gauge\n\
+                    ebv_bsp_work_max_mean_ratio 1.1\n";
         check_metrics(good).unwrap();
         assert!(check_metrics("# TYPE only\n").is_err());
         assert!(check_metrics("ebv_bsp_supersteps_total 1\n").is_err());
+        // Losing any of the pool trio fails the snapshot check.
+        assert!(check_metrics(&good.replace("ebv_bsp_pool_queue_wait_seconds", "x")).is_err());
+        assert!(check_metrics(&good.replace("ebv_bsp_pool_chunk_workers", "x")).is_err());
+        assert!(check_metrics(&good.replace("ebv_bsp_work_max_mean_ratio", "x")).is_err());
 
         // A live scrape additionally needs the labeled worker families and
         // the straggler gauge.

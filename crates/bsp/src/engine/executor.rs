@@ -1,0 +1,298 @@
+//! The [`SuperstepExecutor`] seam: how one superstep's independent worker
+//! tasks are placed onto compute resources.
+//!
+//! The engine (`engine::mod`) prepares one boxed task per worker per
+//! superstep — gather + compute + scatter over purely worker-local state —
+//! and hands the batch to an executor. Everything above the seam is
+//! transport-agnostic: the planned multi-process TCP runtime plugs in here
+//! as another `SuperstepExecutor` whose "lanes" are remote worker
+//! processes, while every in-process mode below keeps gating it
+//! bit-identically.
+//!
+//! Three implementations ship today:
+//!
+//! * [`SequentialExecutor`] — tasks run in worker order on the caller
+//!   thread (the determinism reference);
+//! * [`PooledExecutor`] — tasks run on a persistent [`WorkerPool`], placed
+//!   by the work-aware LPT scheduler (`engine::schedule`);
+//! * [`SpawnPerStepExecutor`] — PR 5's one-scoped-spawn-per-chunk-per-
+//!   superstep placement, kept as the measured floor the pool's
+//!   spawn-amortization claim is benchmarked against.
+//!
+//! Every executor reports per-task panics exactly (worker id + payload) in
+//! ascending worker order, and none of them can affect program values or
+//! `ExecutionStats`: workers are independent within a superstep, and the
+//! engine folds their results in worker order afterwards.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use super::pool::{panic_message, shared_worker_pool, PoolTask, WorkerPool};
+use super::schedule::lpt_schedule;
+
+/// One worker's whole superstep, packaged for placement: the closure plus
+/// the inputs the scheduler places it by.
+pub struct WorkerTask<'a> {
+    /// Worker (partition) index — panic attribution and result slot.
+    pub worker: usize,
+    /// Scheduler cost estimate (CSR edge count + previous superstep's
+    /// per-worker `work`); never affects results, only placement.
+    pub cost: u64,
+    /// The gather + compute + scatter closure over worker-local state.
+    pub run: Box<dyn FnOnce() + Send + 'a>,
+}
+
+/// What one superstep's execution reported back to the engine.
+#[derive(Debug, Default)]
+pub struct StepOutcome {
+    /// Per-task panics, `(worker, message)` in ascending worker order;
+    /// empty when every worker completed.
+    pub panics: Vec<(usize, String)>,
+    /// The largest number of workers any lane (thread/chunk) ran — the
+    /// `ebv_bsp_pool_chunk_workers` gauge.
+    pub max_lane_workers: usize,
+}
+
+/// Places and runs one superstep's worker tasks.
+///
+/// Implementations must run every task exactly once before returning and
+/// report panics per task; they are free to choose any placement and any
+/// per-lane order, because worker tasks share no state within a superstep.
+pub trait SuperstepExecutor {
+    /// Runs `tasks` (one per worker, in ascending worker order) to
+    /// completion and reports the outcome.
+    fn execute(&mut self, tasks: Vec<WorkerTask<'_>>) -> StepOutcome;
+}
+
+/// Runs tasks in worker order on the calling thread — the reference
+/// executor every parallel mode is property-tested against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl SuperstepExecutor for SequentialExecutor {
+    fn execute(&mut self, tasks: Vec<WorkerTask<'_>>) -> StepOutcome {
+        let mut outcome = StepOutcome {
+            panics: Vec::new(),
+            max_lane_workers: tasks.len(),
+        };
+        for task in tasks {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task.run)) {
+                outcome.panics.push((task.worker, panic_message(payload)));
+            }
+        }
+        outcome.panics.sort_unstable_by_key(|&(worker, _)| worker);
+        outcome
+    }
+}
+
+/// Runs tasks on a persistent [`WorkerPool`], placed by the LPT scheduler.
+///
+/// [`shared`](PooledExecutor::shared) borrows the process-wide pool (the
+/// `ExecutionMode::Threaded` path — zero thread spawns after process
+/// warm-up, which is what makes warm mutation epochs spawn-free), while
+/// [`own`](PooledExecutor::own) creates a run-local pool of an explicit
+/// size whose threads are created once per run and joined when the
+/// executor drops (the `ExecutionMode::Pooled(n)` path the property suites
+/// sweep over).
+#[derive(Debug)]
+pub struct PooledExecutor {
+    pool: PoolHandle,
+}
+
+#[derive(Debug)]
+enum PoolHandle {
+    Shared(&'static WorkerPool),
+    Owned(WorkerPool),
+}
+
+impl PooledExecutor {
+    /// An executor over the process-wide shared pool.
+    pub fn shared() -> PooledExecutor {
+        PooledExecutor {
+            pool: PoolHandle::Shared(shared_worker_pool()),
+        }
+    }
+
+    /// An executor over its own fresh pool of `threads` threads (clamped
+    /// to at least one), joined when the executor drops.
+    pub fn own(threads: usize) -> PooledExecutor {
+        PooledExecutor {
+            pool: PoolHandle::Owned(WorkerPool::new(threads)),
+        }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        match &self.pool {
+            PoolHandle::Shared(pool) => pool,
+            PoolHandle::Owned(pool) => pool,
+        }
+    }
+}
+
+impl SuperstepExecutor for PooledExecutor {
+    fn execute(&mut self, tasks: Vec<WorkerTask<'_>>) -> StepOutcome {
+        let costs: Vec<u64> = tasks.iter().map(|t| t.cost).collect();
+        let schedule = lpt_schedule(&costs, self.pool().threads());
+        let mut slots: Vec<Option<WorkerTask<'_>>> = tasks.into_iter().map(Some).collect();
+        let assignments: Vec<Vec<PoolTask<'_>>> = schedule
+            .lanes
+            .iter()
+            .map(|lane| {
+                lane.iter()
+                    .map(|&index| {
+                        let task = slots[index].take().expect("each task placed once");
+                        PoolTask {
+                            worker: task.worker,
+                            run: task.run,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        StepOutcome {
+            panics: self.pool().run_tasks(assignments),
+            max_lane_workers: schedule.max_lane_tasks,
+        }
+    }
+}
+
+/// PR 5's placement, kept as the measured spawn-cost floor: count-even
+/// contiguous chunks, one scoped thread spawned per chunk per superstep.
+///
+/// `bench_dynamic`'s `cc_cold_spawn_per_superstep` series runs this
+/// executor against `cc_cold_pooled_spawn_free` so the pool's
+/// amortization win is a number, not prose.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpawnPerStepExecutor;
+
+impl SuperstepExecutor for SpawnPerStepExecutor {
+    fn execute(&mut self, tasks: Vec<WorkerTask<'_>>) -> StepOutcome {
+        let num_tasks = tasks.len();
+        if num_tasks == 0 {
+            return StepOutcome::default();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(num_tasks)
+            .min(num_tasks)
+            .max(1);
+        let chunk_size = num_tasks.div_ceil(threads);
+        let mut chunks: Vec<Vec<WorkerTask<'_>>> = Vec::with_capacity(threads);
+        let mut rest = tasks;
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk_size.min(rest.len()));
+            chunks.push(rest);
+            rest = tail;
+        }
+        let mut panics = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut panics: Vec<(usize, String)> = Vec::new();
+                        for task in chunk {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(task.run)) {
+                                panics.push((task.worker, panic_message(payload)));
+                            }
+                        }
+                        panics
+                    })
+                })
+                .collect();
+            let mut panics = Vec::new();
+            for handle in handles {
+                match handle.join() {
+                    Ok(chunk_panics) => panics.extend(chunk_panics),
+                    // The chunk thread itself died outside a task (cannot
+                    // happen today: every task is individually caught).
+                    Err(payload) => panics.push((usize::MAX, panic_message(payload))),
+                }
+            }
+            panics
+        });
+        panics.sort_unstable_by_key(|&(worker, _)| worker);
+        StepOutcome {
+            panics,
+            max_lane_workers: chunk_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_tasks(counter: &AtomicUsize, n: usize) -> Vec<WorkerTask<'_>> {
+        (0..n)
+            .map(|worker| WorkerTask {
+                worker,
+                cost: (worker as u64 + 1) * 10,
+                run: Box::new(move || {
+                    counter.fetch_add(worker + 1, Ordering::Relaxed);
+                }),
+            })
+            .collect()
+    }
+
+    fn exercise(executor: &mut dyn SuperstepExecutor) {
+        let counter = AtomicUsize::new(0);
+        let outcome = executor.execute(counting_tasks(&counter, 6));
+        assert!(outcome.panics.is_empty());
+        assert!(outcome.max_lane_workers >= 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 21);
+    }
+
+    #[test]
+    fn all_executors_run_every_task() {
+        exercise(&mut SequentialExecutor);
+        exercise(&mut SpawnPerStepExecutor);
+        exercise(&mut PooledExecutor::own(1));
+        exercise(&mut PooledExecutor::own(2));
+        exercise(&mut PooledExecutor::own(9));
+        exercise(&mut PooledExecutor::shared());
+    }
+
+    #[test]
+    fn executors_attribute_every_panic_in_worker_order() {
+        let make_tasks = || -> Vec<WorkerTask<'static>> {
+            (0..4)
+                .map(|worker| WorkerTask {
+                    worker,
+                    cost: 1,
+                    run: Box::new(move || {
+                        if worker % 2 == 1 {
+                            panic!("worker {worker} exploded");
+                        }
+                    }),
+                })
+                .collect()
+        };
+        let mut executors: Vec<Box<dyn SuperstepExecutor>> = vec![
+            Box::new(SequentialExecutor),
+            Box::new(SpawnPerStepExecutor),
+            Box::new(PooledExecutor::own(1)),
+            Box::new(PooledExecutor::own(3)),
+        ];
+        for executor in executors.iter_mut() {
+            let outcome = executor.execute(make_tasks());
+            let expected = vec![
+                (1usize, "worker 1 exploded".to_string()),
+                (3, "worker 3 exploded".to_string()),
+            ];
+            assert_eq!(outcome.panics, expected);
+        }
+    }
+
+    #[test]
+    fn empty_superstep_is_a_no_op() {
+        for executor in [
+            &mut SequentialExecutor as &mut dyn SuperstepExecutor,
+            &mut SpawnPerStepExecutor,
+            &mut PooledExecutor::own(2),
+        ] {
+            let outcome = executor.execute(Vec::new());
+            assert!(outcome.panics.is_empty());
+            assert_eq!(outcome.max_lane_workers, 0);
+        }
+    }
+}

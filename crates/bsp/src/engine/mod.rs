@@ -1,4 +1,30 @@
 //! The bulk-synchronous-parallel execution engine.
+//!
+//! The module tree splits the engine along its seams:
+//!
+//! * `mod` (this file) — the public [`BspEngine`] API and the superstep
+//!   loop: seeding, the quiescence/convergence protocol, statistics and
+//!   result extraction;
+//! * [`executor`] — the [`SuperstepExecutor`] trait: how one superstep's
+//!   independent worker tasks are placed (sequential, pooled, legacy
+//!   spawn-per-step), and the seam a multi-process transport plugs into;
+//! * [`pool`] — the persistent [`WorkerPool`]: fixed threads parked across
+//!   supersteps and (for the shared pool) across runs and mutation epochs,
+//!   tasks handed over `std::sync::mpsc` channels, exact per-task panic
+//!   attribution, graceful join on drop;
+//! * [`schedule`] — the work-aware LPT scheduler that chunks workers onto
+//!   pool lanes by estimated cost (CSR edge counts + the previous
+//!   superstep's live `work` counters) instead of count-even.
+
+mod executor;
+mod pool;
+mod schedule;
+
+pub use executor::{
+    PooledExecutor, SequentialExecutor, SpawnPerStepExecutor, StepOutcome, SuperstepExecutor,
+    WorkerTask,
+};
+pub use pool::{pool_threads_spawned, shared_worker_pool, WorkerPool};
 
 use ebv_graph::VertexId;
 use ebv_obs::{NoopRecorder, Phase, Recorder, SpanCtx};
@@ -8,17 +34,6 @@ use crate::exchange::{self, MessagePlane};
 use crate::program::{SubgraphContext, SubgraphProgram};
 use crate::stats::{ExecutionStats, SuperstepStats, WorkerSuperstepStats};
 use crate::subgraph::DistributedGraph;
-
-/// Turns a captured panic payload into a readable message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    match payload.downcast::<String>() {
-        Ok(message) => *message,
-        Err(payload) => match payload.downcast::<&'static str>() {
-            Ok(message) => (*message).to_string(),
-            Err(_) => "worker thread panicked".to_string(),
-        },
-    }
-}
 
 /// The per-worker slice of engine state one superstep works on.
 struct WorkerPart<'a, V, M> {
@@ -41,8 +56,9 @@ struct WorkerPart<'a, V, M> {
 /// the end of the previous superstep into the flat inbox (gather), run the
 /// program over the subgraph (compute), then fan the outbox out into the
 /// worker's own row of per-destination shards along the precomputed routes
-/// (scatter). Touches only worker-local state, so the threaded mode runs
-/// it lock-free with a single spawn per worker per superstep.
+/// (scatter). Touches only worker-local state, so every executor runs it
+/// lock-free; ownership of the part (and with it the worker's shard rows)
+/// moves into the task an executor places.
 fn run_worker<P: SubgraphProgram, R: Recorder>(
     program: &P,
     superstep: usize,
@@ -72,15 +88,32 @@ fn run_worker<P: SubgraphProgram, R: Recorder>(
 }
 
 /// How the workers of a superstep are executed.
+///
+/// Every mode is bit-identical to every other in program values and
+/// [`ExecutionStats`] — workers are independent within a superstep and the
+/// engine folds their results in worker order — so the choice is purely a
+/// performance/debuggability trade-off, and the mode-equivalence property
+/// suites gate it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
     /// Workers run one after another on the calling thread. Deterministic
-    /// and easiest to debug; the statistics are identical to threaded mode.
+    /// reference mode; the statistics are identical to the parallel modes.
     #[default]
     Sequential,
-    /// Workers of each superstep run on their own OS threads (one thread per
-    /// subgraph, as in the paper's one-worker-per-subgraph deployment).
+    /// Workers run on the process-wide persistent [`WorkerPool`] (sized by
+    /// `EBV_POOL_SIZE` or the host's available parallelism), placed by the
+    /// work-aware LPT scheduler. The pool outlives runs, so warm mutation
+    /// epochs pay zero thread-spawn cost.
     Threaded,
+    /// Workers run on a run-local pool of exactly this many threads
+    /// (`0` is clamped to `1`): created once per `run`/`run_warm`, joined
+    /// when the run finishes. The property suites sweep this mode over
+    /// pool sizes to prove placement-independence.
+    Pooled(usize),
+    /// PR 5's legacy placement — count-even chunks, one scoped OS thread
+    /// spawned per chunk per superstep — kept as the measured floor for
+    /// the pool's spawn-amortization benchmark.
+    SpawnPerStep,
 }
 
 /// The subgraph-centric BSP engine.
@@ -134,10 +167,27 @@ impl BspEngine {
         }
     }
 
-    /// Creates an engine that runs each worker on its own thread.
+    /// Creates an engine that runs workers on the shared persistent pool
+    /// (see [`ExecutionMode::Threaded`]).
     pub fn threaded() -> Self {
         BspEngine {
             mode: ExecutionMode::Threaded,
+        }
+    }
+
+    /// Creates an engine that runs workers on a run-local pool of exactly
+    /// `threads` threads (see [`ExecutionMode::Pooled`]).
+    pub fn pooled(threads: usize) -> Self {
+        BspEngine {
+            mode: ExecutionMode::Pooled(threads),
+        }
+    }
+
+    /// Creates an engine using the legacy spawn-per-superstep placement
+    /// (see [`ExecutionMode::SpawnPerStep`]) — the benchmark floor.
+    pub fn spawn_per_step() -> Self {
+        BspEngine {
+            mode: ExecutionMode::SpawnPerStep,
         }
     }
 
@@ -224,6 +274,18 @@ impl BspEngine {
         self.execute(distributed, program, Some(prior), recorder)
     }
 
+    /// The executor implementing this engine's [`ExecutionMode`]. Created
+    /// once per run: a run-local pool spawns its threads here and joins
+    /// them when the box drops; the shared pool is only borrowed.
+    fn executor(&self) -> Box<dyn SuperstepExecutor> {
+        match self.mode {
+            ExecutionMode::Sequential => Box::new(SequentialExecutor),
+            ExecutionMode::Threaded => Box::new(PooledExecutor::shared()),
+            ExecutionMode::Pooled(threads) => Box::new(PooledExecutor::own(threads)),
+            ExecutionMode::SpawnPerStep => Box::new(SpawnPerStepExecutor),
+        }
+    }
+
     fn execute<P: SubgraphProgram, R: Recorder>(
         &self,
         distributed: &DistributedGraph,
@@ -282,6 +344,9 @@ impl BspEngine {
         let epoch = distributed.epoch() as u32;
         // Engine-side (barrier) spans use worker == p by convention.
         let engine_worker = num_workers as u32;
+        let mut executor = self.executor();
+        // Reused across supersteps: per-destination delivery counts.
+        let mut received: Vec<usize> = Vec::with_capacity(num_workers);
 
         for superstep in 0..max_supersteps {
             // --- Worker phase: gather + computation + scatter ----------------------
@@ -291,8 +356,26 @@ impl BspEngine {
             // one parallel phase), runs the program over its subgraph, and
             // fans its outbox out into its own row of per-destination
             // shards along the precomputed routes (exchange phase one) —
-            // purely worker-local state, so the threaded mode needs no
-            // locks and only one thread spawn per worker per superstep.
+            // purely worker-local state, packaged as one task per worker
+            // and handed to the executor, which owns placement.
+            //
+            // The scheduler's cost estimate blends each subgraph's static
+            // CSR edge count with the worker's live `work` counter from
+            // the previous superstep, so both structural skew (R-MAT hubs)
+            // and frontier skew (worklist algorithms) re-balance within
+            // one superstep. Placement cannot affect results.
+            let costs: Vec<u64> = {
+                let last = stats.supersteps.last();
+                distributed
+                    .subgraphs()
+                    .iter()
+                    .enumerate()
+                    .map(|(worker, sg)| {
+                        let live = last.map_or(0, |s| s.per_worker[worker].work);
+                        sg.num_edges() as u64 + 1 + live
+                    })
+                    .collect()
+            };
             let mut results: Vec<Option<(u64, usize, usize)>> = vec![None; num_workers];
             {
                 let parts = distributed
@@ -320,63 +403,35 @@ impl BspEngine {
                             result,
                         },
                     );
-                match self.mode {
-                    ExecutionMode::Sequential => {
-                        for part in parts {
-                            run_worker(program, superstep, epoch, recorder, part);
-                        }
-                    }
-                    ExecutionMode::Threaded => {
-                        // Workers are independent within a superstep, so
-                        // they are chunked over at most
-                        // `available_parallelism` OS threads (each chunk
-                        // runs its workers in order — bit-identical to any
-                        // other schedule) instead of oversubscribing one
-                        // thread per worker.
-                        let threads = std::thread::available_parallelism()
-                            .map(std::num::NonZeroUsize::get)
-                            .unwrap_or(num_workers)
-                            .min(num_workers)
-                            .max(1);
-                        let chunk_size = num_workers.div_ceil(threads);
-                        let mut chunks: Vec<Vec<WorkerPart<'_, P::Value, P::Message>>> =
-                            Vec::with_capacity(threads);
-                        let mut rest: Vec<_> = parts.collect();
-                        while !rest.is_empty() {
-                            let tail = rest.split_off(chunk_size.min(rest.len()));
-                            chunks.push(rest);
-                            rest = tail;
-                        }
-                        let panicked = std::thread::scope(|scope| {
-                            let handles: Vec<_> = chunks
-                                .into_iter()
-                                .map(|chunk| {
-                                    scope.spawn(move || {
-                                        for part in chunk {
-                                            run_worker(program, superstep, epoch, recorder, part);
-                                        }
-                                    })
-                                })
-                                .collect();
-                            let mut panicked = None;
-                            for (index, handle) in handles.into_iter().enumerate() {
-                                if let Err(payload) = handle.join() {
-                                    panicked.get_or_insert((index, panic_message(payload)));
+                let tasks: Vec<WorkerTask<'_>> = parts
+                    .map(|part| {
+                        let worker = part.subgraph.part().index();
+                        // Queue-wait: sampled at submission, observed when
+                        // the task starts on its lane. Free under the
+                        // no-op recorder (`start()` returns `None`).
+                        let enqueued = recorder.start();
+                        WorkerTask {
+                            worker,
+                            cost: costs[worker],
+                            run: Box::new(move || {
+                                if let Some(started) = enqueued {
+                                    recorder.observe_seconds(
+                                        "ebv_bsp_pool_queue_wait_seconds",
+                                        started.elapsed().as_secs_f64(),
+                                    );
                                 }
-                            }
-                            panicked
-                        });
-                        if let Some((chunk_index, message)) = panicked {
-                            // The chunk ran its workers in order, so the
-                            // first result-less worker of the chunk is the
-                            // one that panicked.
-                            let worker = (chunk_index * chunk_size..num_workers)
-                                .find(|&w| results[w].is_none())
-                                .expect("a panicked chunk left its worker's result empty");
-                            return Err(BspError::WorkerPanicked { worker, message });
+                                run_worker(program, superstep, epoch, recorder, part);
+                            }),
                         }
-                    }
+                    })
+                    .collect();
+                let step = executor.execute(tasks);
+                if let Some((worker, message)) = step.panics.into_iter().next() {
+                    // Every executor attributes panics exactly per task;
+                    // report the lowest panicking worker.
+                    return Err(BspError::WorkerPanicked { worker, message });
                 }
+                recorder.gauge_set("ebv_bsp_pool_chunk_workers", step.max_lane_workers as f64);
             }
 
             // --- Exchange hand-off -------------------------------------------------
@@ -384,15 +439,10 @@ impl BspEngine {
             // side (a `Vec` swap per cell, no message moves); destinations
             // merge them at the start of the next superstep, in ascending
             // source order, so values and counters are identical across
-            // modes. The per-destination delivery counts are the shard
-            // lengths — no message needs to be touched to count them.
+            // modes. The per-destination delivery counts fall out of the
+            // same pass — no message needs to be touched to count them.
             let barrier_started = recorder.start();
-            plane.transpose();
-            let received: Vec<usize> = plane
-                .in_shards
-                .iter()
-                .map(|row| row.iter().map(Vec::len).sum())
-                .collect();
+            plane.transpose_into(&mut received);
 
             // --- Statistics / synchronization --------------------------------------
             let mut superstep_stats = SuperstepStats {
@@ -433,6 +483,11 @@ impl BspEngine {
         if program.halt_on_quiescence() && !converged {
             return Err(BspError::DidNotConverge { max_supersteps });
         }
+
+        // The counted work-skew counterpart of the wall-clock straggler
+        // gauge; `max_mean_ratio` is total (1.0 on empty or all-zero
+        // input), so zero-work runs cannot emit NaN/inf into /metrics.
+        recorder.gauge_set("ebv_bsp_work_max_mean_ratio", stats.work_max_mean_ratio());
 
         // Extract the global result from each vertex's master replica via
         // the precomputed master-location array (no per-vertex hash
@@ -569,11 +624,36 @@ mod tests {
         assert_eq!(BspEngine::threaded().mode(), ExecutionMode::Threaded);
     }
 
-    /// A program whose worker 1 panics: the threaded engine must surface a
-    /// typed error instead of aborting the process.
-    struct PanicsOnWorker(usize);
+    #[test]
+    fn every_mode_agrees_with_sequential() {
+        let g = named::small_social_graph();
+        let seq = run_min_label(&g, 4, BspEngine::sequential());
+        for engine in [
+            BspEngine::pooled(1),
+            BspEngine::pooled(2),
+            BspEngine::pooled(4),
+            BspEngine::pooled(7),
+            // `Pooled(0)` is clamped to one thread rather than rejected.
+            BspEngine::pooled(0),
+            BspEngine::spawn_per_step(),
+        ] {
+            let other = run_min_label(&g, 4, engine);
+            assert_eq!(seq.values, other.values, "{:?}", engine.mode());
+            assert_eq!(seq.stats, other.stats, "{:?}", engine.mode());
+            assert_eq!(seq.supersteps, other.supersteps, "{:?}", engine.mode());
+        }
+        assert_eq!(BspEngine::pooled(3).mode(), ExecutionMode::Pooled(3));
+        assert_eq!(
+            BspEngine::spawn_per_step().mode(),
+            ExecutionMode::SpawnPerStep
+        );
+    }
 
-    impl SubgraphProgram for PanicsOnWorker {
+    /// A program that panics on a fixed set of workers: the engine must
+    /// surface a typed error instead of aborting the process.
+    struct PanicsOnWorkers(&'static [usize]);
+
+    impl SubgraphProgram for PanicsOnWorkers {
         type Value = u64;
         type Message = u64;
 
@@ -590,8 +670,9 @@ mod tests {
             ctx: &mut SubgraphContext<'_, u64, u64>,
             _superstep: usize,
         ) -> usize {
-            if ctx.subgraph().part().index() == self.0 {
-                panic!("worker {} exploded", self.0);
+            let worker = ctx.subgraph().part().index();
+            if self.0.contains(&worker) {
+                panic!("worker {worker} exploded");
             }
             0
         }
@@ -603,7 +684,7 @@ mod tests {
         let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
         let dg = DistributedGraph::build(&g, &partition).unwrap();
         let err = BspEngine::threaded()
-            .run(&dg, &PanicsOnWorker(1))
+            .run(&dg, &PanicsOnWorkers(&[1]))
             .unwrap_err();
         match err {
             BspError::WorkerPanicked { worker, message } => {
@@ -611,6 +692,32 @@ mod tests {
                 assert_eq!(message, "worker 1 exploded");
             }
             other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    /// Regression for the PR 5 first-missing-result attribution: with two
+    /// panicking workers forced into the *same* lane (pool size 1) the
+    /// error must name the lowest panicking worker with its own message —
+    /// exactly, not by chunk-position inference.
+    #[test]
+    fn two_panics_in_one_chunk_attribute_the_lowest_worker_exactly() {
+        let g = named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        for engine in [
+            BspEngine::pooled(1),
+            BspEngine::pooled(4),
+            BspEngine::spawn_per_step(),
+            BspEngine::sequential(),
+        ] {
+            let err = engine.run(&dg, &PanicsOnWorkers(&[2, 1])).unwrap_err();
+            match err {
+                BspError::WorkerPanicked { worker, message } => {
+                    assert_eq!(worker, 1, "{:?}", engine.mode());
+                    assert_eq!(message, "worker 1 exploded", "{:?}", engine.mode());
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
         }
     }
 

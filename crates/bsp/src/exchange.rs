@@ -215,15 +215,21 @@ impl<M> MessagePlane<M> {
 
     /// Hands the filled scatter shards to the gather side (and the drained
     /// gather shards back for reuse) by swapping the two matrices — `Vec`
-    /// moves only, no message is copied.
-    pub(crate) fn transpose(&mut self) {
+    /// moves only, no message is copied — and writes the per-destination
+    /// delivery counts into `received` (resized to `p`), folding the
+    /// counting pass into the same matrix walk so steady-state supersteps
+    /// allocate nothing for it.
+    pub(crate) fn transpose_into(&mut self, received: &mut Vec<usize>) {
         let p = self.out_shards.len();
+        received.clear();
+        received.resize(p, 0);
         for src in 0..p {
-            for dst in 0..p {
+            for (dst, count) in received.iter_mut().enumerate() {
                 std::mem::swap(
                     &mut self.out_shards[src][dst],
                     &mut self.in_shards[dst][src],
                 );
+                *count += self.in_shards[dst][src].len();
             }
         }
     }
@@ -298,16 +304,23 @@ mod tests {
     }
 
     #[test]
-    fn transpose_swaps_rows_for_columns_and_back() {
+    fn transpose_swaps_rows_for_columns_and_counts_deliveries() {
         let mut plane: MessagePlane<u64> = MessagePlane::new([1usize, 1].into_iter());
         plane.out_shards[0][1].push((0, 7));
         plane.out_shards[1][0].push((0, 8));
-        plane.transpose();
+        plane.out_shards[1][0].push((0, 9));
+        let mut received = Vec::new();
+        plane.transpose_into(&mut received);
         assert_eq!(plane.in_shards[1][0], vec![(0, 7)]);
-        assert_eq!(plane.in_shards[0][1], vec![(0, 8)]);
+        assert_eq!(plane.in_shards[0][1], vec![(0, 8), (0, 9)]);
         assert!(plane.out_shards[0][1].is_empty());
-        // Swapping back restores the (drained) buffers for reuse.
-        plane.transpose();
+        // The delivery counts fall out of the same pass: worker 0 received
+        // two messages (from worker 1), worker 1 received one.
+        assert_eq!(received, vec![2, 1]);
+        // Swapping back restores the (drained) buffers for reuse and
+        // recounts from scratch into the reused buffer.
+        plane.transpose_into(&mut received);
         assert_eq!(plane.out_shards[0][1], vec![(0, 7)]);
+        assert_eq!(received, vec![0, 0]);
     }
 }

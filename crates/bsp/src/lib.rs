@@ -13,8 +13,10 @@
 //!   [`PartitionResult`](ebv_partition::PartitionResult) (vertex-cut or
 //!   edge-cut) into per-worker [`Subgraph`]s with master/mirror replicas;
 //! * [`SubgraphProgram`] is the "think like a graph" programming interface;
-//! * [`BspEngine`] executes programs sequentially or with one thread per
-//!   worker, recording the per-worker work and message counters;
+//! * [`BspEngine`] executes programs sequentially or on a persistent
+//!   [`WorkerPool`] with work-aware (LPT) superstep scheduling, behind the
+//!   [`SuperstepExecutor`] seam a future multi-process transport plugs
+//!   into, recording the per-worker work and message counters;
 //! * [`CostModel`] converts the counters into the comp/comm/ΔC/execution
 //!   breakdown of Table II and the timelines of Figure 4.
 //!
@@ -33,7 +35,11 @@ mod stats;
 mod subgraph;
 pub mod warm;
 
-pub use engine::{BspEngine, BspOutcome, ExecutionMode};
+pub use engine::{
+    pool_threads_spawned, shared_worker_pool, BspEngine, BspOutcome, ExecutionMode, PooledExecutor,
+    SequentialExecutor, SpawnPerStepExecutor, StepOutcome, SuperstepExecutor, WorkerPool,
+    WorkerTask,
+};
 pub use error::{BspError, Result};
 pub use program::{MessageTarget, SubgraphContext, SubgraphProgram};
 pub use stats::{

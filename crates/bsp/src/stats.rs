@@ -379,4 +379,37 @@ mod tests {
         assert_eq!(b.execution_time, 0.0);
         assert_eq!(b.delta_c, 0.0);
     }
+
+    /// Zero-worker / zero-work guard: the skew ratios the engine exports
+    /// to /metrics must stay finite (neutral 1.0) when a run had no
+    /// workers or its supersteps performed no work at all — never
+    /// `0/0 = NaN` or `x/0 = inf`.
+    #[test]
+    fn skew_ratios_are_finite_for_zero_worker_and_zero_work_runs() {
+        // No workers at all (the degenerate stats shape).
+        let no_workers = ExecutionStats {
+            num_workers: 0,
+            ..ExecutionStats::default()
+        };
+        assert!(no_workers.work_max_mean_ratio().is_finite());
+        assert_eq!(no_workers.work_max_mean_ratio(), 1.0);
+        assert_eq!(no_workers.message_max_mean_ratio(), 1.0);
+
+        // Workers present, but every superstep counted zero work and zero
+        // messages (e.g. a fully quiesced warm epoch).
+        let zero_work = ExecutionStats {
+            num_workers: 3,
+            epoch: 5,
+            workers_touched: 0,
+            edges_rebuilt: 0,
+            supersteps: vec![SuperstepStats {
+                per_worker: vec![WorkerSuperstepStats::default(); 3],
+            }],
+        };
+        assert_eq!(zero_work.work_per_worker(), vec![0, 0, 0]);
+        assert!(zero_work.work_max_mean_ratio().is_finite());
+        assert_eq!(zero_work.work_max_mean_ratio(), 1.0);
+        assert!(zero_work.message_max_mean_ratio().is_finite());
+        assert_eq!(zero_work.message_max_mean_ratio(), 1.0);
+    }
 }

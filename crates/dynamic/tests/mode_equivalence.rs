@@ -1,14 +1,19 @@
-//! Property tests for the message plane (PR 5 tentpole): `Sequential` and
-//! `Threaded` execution must be **bit-identical** — same per-vertex values
-//! *and* the same [`ExecutionStats`] (work, updates, messages sent and
-//! received per worker per superstep) — for all four algorithms, cold and
-//! warm, over churned R-MAT distributions.
+//! Property tests for the message plane (PR 5 tentpole) and the executor
+//! seam (PR 8 tentpole): every parallel execution mode — `Threaded` (the
+//! shared persistent pool) and `Pooled(n)` swept over pool sizes
+//! `{1, 2, p, p + 3}` — must be **bit-identical** to `Sequential`: same
+//! per-vertex values *and* the same [`ExecutionStats`] (work, updates,
+//! messages sent and received per worker per superstep) — for all four
+//! algorithms, cold and warm, over churned R-MAT distributions.
 //!
-//! The threaded path is a two-phase partitioned exchange over the
-//! precomputed routing table; any divergence in message routing, merge
-//! order or routing-table staleness after `apply_mutations` (the warm
-//! re-runs mutate the distribution between executions) shows up here as a
-//! value or counter mismatch.
+//! The parallel path is a two-phase partitioned exchange over the
+//! precomputed routing table, placed onto pool lanes by the work-aware LPT
+//! scheduler; any divergence in message routing, merge order, lane
+//! placement leaking into results, or routing-table staleness after
+//! `apply_mutations` (the warm re-runs mutate the distribution between
+//! executions) shows up here as a value or counter mismatch. Pool size 1
+//! forces every worker onto one lane (the serialization extreme),
+//! `p + 3` leaves lanes idle (the oversubscribed extreme).
 
 use proptest::prelude::*;
 
@@ -22,22 +27,43 @@ use ebv_graph::VertexId;
 use ebv_partition::EbvPartitioner;
 use ebv_stream::{EdgeSource, RmatEdgeStream};
 
-/// Runs `program` cold under both modes and asserts bit-equality of values
-/// and of the whole counter structure.
+/// The parallel engines every assertion compares against the sequential
+/// reference: the shared persistent pool (`Threaded`) plus run-local pools
+/// swept over the tentpole's size set `{1, 2, p, p + 3}`.
+fn parallel_engines(distributed: &DistributedGraph) -> Vec<BspEngine> {
+    let p = distributed.num_workers();
+    let mut sizes = vec![1, 2, p, p + 3];
+    sizes.dedup();
+    let mut engines = vec![BspEngine::threaded()];
+    engines.extend(sizes.into_iter().map(BspEngine::pooled));
+    engines
+}
+
+/// Runs `program` cold under every mode and asserts bit-equality of values
+/// and of the whole counter structure against the sequential reference.
 fn assert_modes_agree<P>(distributed: &DistributedGraph, program: &P) -> BspOutcome<P::Value>
 where
     P: SubgraphProgram,
     P::Value: PartialEq,
 {
     let seq = BspEngine::sequential().run(distributed, program).unwrap();
-    let thr = BspEngine::threaded().run(distributed, program).unwrap();
-    assert!(
-        seq.values == thr.values,
-        "{}: values diverged",
-        program.name()
-    );
-    assert_eq!(seq.stats, thr.stats, "{}: stats diverged", program.name());
-    assert_eq!(seq.supersteps, thr.supersteps);
+    for engine in parallel_engines(distributed) {
+        let other = engine.run(distributed, program).unwrap();
+        assert!(
+            seq.values == other.values,
+            "{}: values diverged under {:?}",
+            program.name(),
+            engine.mode()
+        );
+        assert_eq!(
+            seq.stats,
+            other.stats,
+            "{}: stats diverged under {:?}",
+            program.name(),
+            engine.mode()
+        );
+        assert_eq!(seq.supersteps, other.supersteps);
+    }
     seq
 }
 
@@ -54,21 +80,23 @@ where
     let seq = BspEngine::sequential()
         .run_warm(distributed, program, prior)
         .unwrap();
-    let thr = BspEngine::threaded()
-        .run_warm(distributed, program, prior)
-        .unwrap();
-    assert!(
-        seq.values == thr.values,
-        "{}: warm values diverged",
-        program.name()
-    );
-    assert_eq!(
-        seq.stats,
-        thr.stats,
-        "{}: warm stats diverged",
-        program.name()
-    );
-    assert_eq!(seq.supersteps, thr.supersteps);
+    for engine in parallel_engines(distributed) {
+        let other = engine.run_warm(distributed, program, prior).unwrap();
+        assert!(
+            seq.values == other.values,
+            "{}: warm values diverged under {:?}",
+            program.name(),
+            engine.mode()
+        );
+        assert_eq!(
+            seq.stats,
+            other.stats,
+            "{}: warm stats diverged under {:?}",
+            program.name(),
+            engine.mode()
+        );
+        assert_eq!(seq.supersteps, other.supersteps);
+    }
     seq
 }
 
@@ -76,11 +104,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Cold and warm runs of CC, SSSP, BFS and PageRank produce
-    /// bit-identical values and per-worker message counters in both
-    /// execution modes, across churned mutation epochs (the warm re-runs
+    /// bit-identical values and per-worker message counters under every
+    /// execution mode — the shared pool and run-local pools of sizes
+    /// {1, 2, p, p + 3} — across churned mutation epochs (the warm re-runs
     /// exercise the incrementally maintained routing table).
     #[test]
-    fn sequential_and_threaded_are_bit_identical_cold_and_warm(
+    fn parallel_modes_are_bit_identical_to_sequential_cold_and_warm(
         scale in 5u32..8,
         num_edges in 80usize..400,
         seed in 0u64..500,

@@ -4,8 +4,12 @@
 //! must produce bit-identical per-vertex values *and* an identical
 //! [`ExecutionStats`](ebv_bsp::ExecutionStats) counter structure to the
 //! same run with the no-op recorder — for CC and SSSP, cold and warm,
-//! sequential and threaded, across churned mutation epochs (where the
-//! mutation-apply and routing-patch spans fire too).
+//! sequential, threaded and pooled, across churned mutation epochs (where
+//! the mutation-apply and routing-patch spans fire too).
+//!
+//! Pool threads are reused across workers and supersteps, so these suites
+//! also prove per-worker attribution keys on the logical worker id (the
+//! `SpanCtx`), never on the OS thread.
 //!
 //! Wall-clock fields (`MutationStats::apply_seconds`) are the only
 //! sanctioned nondeterminism and are deliberately excluded: they live
@@ -17,7 +21,7 @@ use ebv_algorithms::{
     ConnectedComponents, IncrementalConnectedComponents, IncrementalSssp, SingleSourceShortestPath,
 };
 use ebv_bsp::{BspEngine, BspOutcome, DistributedGraph, SubgraphProgram};
-use ebv_dynamic::{ChurnStream, EventPipeline};
+use ebv_dynamic::{ChurnStream, EventPipeline, InsertEvents};
 use ebv_graph::VertexId;
 use ebv_obs::{NoopRecorder, ObsServer, ObsServerConfig, Recorder, Telemetry};
 use ebv_partition::EbvPartitioner;
@@ -35,7 +39,11 @@ where
     P::Value: PartialEq,
 {
     let mut witness = None;
-    for engine in [BspEngine::sequential(), BspEngine::threaded()] {
+    for engine in [
+        BspEngine::sequential(),
+        BspEngine::threaded(),
+        BspEngine::pooled(3),
+    ] {
         let plain = engine.run(distributed, program).unwrap();
         let traced = engine.run_with(distributed, program, telemetry).unwrap();
         assert!(
@@ -67,7 +75,11 @@ where
     P::Value: PartialEq,
 {
     let mut witness = None;
-    for engine in [BspEngine::sequential(), BspEngine::threaded()] {
+    for engine in [
+        BspEngine::sequential(),
+        BspEngine::threaded(),
+        BspEngine::pooled(3),
+    ] {
         let plain = engine.run_warm(distributed, program, prior).unwrap();
         let traced = engine
             .run_warm_with(distributed, program, prior, telemetry)
@@ -93,9 +105,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Traced and untraced runs of CC and SSSP are bit-identical — values
-    /// and `ExecutionStats` — cold and warm, sequential and threaded,
-    /// over churned mutation epochs whose applies also run instrumented
-    /// (mutation-apply, routing-patch and epoch-apply spans fire).
+    /// and `ExecutionStats` — cold and warm, sequential, threaded and
+    /// pooled, over churned mutation epochs whose applies also run
+    /// instrumented (mutation-apply, routing-patch and epoch-apply spans
+    /// fire).
     #[test]
     fn tracing_is_invisible_to_execution(
         scale in 5u32..8,
@@ -158,6 +171,61 @@ proptest! {
         // The recorder really was live: the traced runs left spans behind.
         prop_assert!(!telemetry.spans().is_empty(), "no spans were recorded");
     }
+}
+
+/// Attribution survives pool-thread reuse: on a single-lane pool every
+/// worker's compute spans run on the *same* OS thread, yet the per-worker
+/// phase attribution still shows one populated track per logical worker —
+/// the recorder keys on `SpanCtx::worker`, not on the executing thread.
+#[test]
+fn attribution_survives_pool_thread_reuse() {
+    use ebv_obs::Phase;
+
+    let p = 4usize;
+    let stream = RmatEdgeStream::new(6, 600).with_seed(11);
+    let mut partitioner = EbvPartitioner::new()
+        .dynamic(stream.stream_config(p))
+        .unwrap();
+    let mut distributed = DistributedGraph::build_streaming(p, Some(1 << 6), Vec::new()).unwrap();
+    EventPipeline::new(200)
+        .run_applied(
+            InsertEvents::new(stream),
+            &mut partitioner,
+            &mut distributed,
+            |_, _, _, _| Ok(()),
+        )
+        .unwrap();
+
+    let telemetry = Telemetry::isolated();
+    BspEngine::pooled(1)
+        .run_with(&distributed, &ConnectedComponents::new(), &telemetry)
+        .unwrap();
+
+    let tracks = telemetry.worker_phase_seconds();
+    assert!(
+        tracks.len() >= p,
+        "expected a track per worker, got {}",
+        tracks.len()
+    );
+    for (worker, track) in tracks.iter().take(p).enumerate() {
+        assert!(
+            track[Phase::Compute.index()] > 0.0,
+            "worker {worker} has no attributed compute time despite \
+             running on a shared pool thread"
+        );
+    }
+    // The spans themselves carry distinct logical worker ids.
+    let workers: std::collections::BTreeSet<u32> = telemetry
+        .spans()
+        .iter()
+        .filter(|span| span.phase == Phase::Compute)
+        .map(|span| span.ctx.worker)
+        .collect();
+    assert_eq!(
+        workers,
+        (0..p as u32).collect(),
+        "compute spans must cover every logical worker"
+    );
 }
 
 /// One fixed churn scenario: cold CC, then warm CC carried across every

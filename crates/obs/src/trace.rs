@@ -756,4 +756,83 @@ mod tests {
         assert!(snapshot.straggler_ratio > 0.0);
         assert!(snapshot.at_seconds >= 0.0);
     }
+
+    /// Zero-work guard: a superstep whose compute spans all measure zero
+    /// wall-clock (trivial subgraphs, quiesced worklists) must finalize to
+    /// the neutral ratio 1.0 — never `0/0 = NaN` — in both the gauge and
+    /// the accessor.
+    #[test]
+    fn straggler_ratio_is_finite_for_zero_duration_supersteps() {
+        let telemetry = Telemetry::isolated();
+        for worker in 0..3u32 {
+            telemetry.observe_compute(
+                SpanCtx {
+                    epoch: 0,
+                    superstep: 0,
+                    worker,
+                },
+                0,
+            );
+        }
+        // Advancing the window key finalizes superstep 0's all-zero window.
+        telemetry.observe_compute(
+            SpanCtx {
+                epoch: 0,
+                superstep: 1,
+                worker: 0,
+            },
+            0,
+        );
+        let ratio = telemetry.straggler_ratio();
+        assert!(ratio.is_finite(), "ratio {ratio} must be finite");
+        assert_eq!(ratio, 1.0, "all-zero compute is perfectly even");
+        let gauge = telemetry.registry().gauge("ebv_bsp_straggler_ratio").get();
+        assert!(gauge.is_finite());
+        assert_eq!(gauge, 1.0);
+    }
+
+    /// Zero-worker guard: an epoch that ran no compute spans at all (an
+    /// empty mutation batch, or a graph whose workers were all idle) must
+    /// not disturb the last finite ratio, and everything it journals stays
+    /// finite.
+    #[test]
+    fn empty_compute_windows_journal_finite_straggler_ratios() {
+        let telemetry = Telemetry::isolated();
+        let mark = EpochMark {
+            epoch: 1,
+            ..EpochMark::default()
+        };
+        // No compute span was ever recorded: the window is empty.
+        telemetry.epoch_applied(&mark);
+        let snapshot = telemetry.journal().last().expect("epoch recorded");
+        assert!(snapshot.straggler_ratio.is_finite());
+        assert_eq!(snapshot.straggler_ratio, 0.0, "no superstep finalized yet");
+
+        // A real superstep, then another empty epoch: the finalized ratio
+        // must survive unchanged (and finite) through the empty window.
+        for (worker, nanos) in [(0u32, 1_000_000u64), (1, 3_000_000)] {
+            telemetry.observe_compute(
+                SpanCtx {
+                    epoch: 2,
+                    superstep: 0,
+                    worker,
+                },
+                nanos,
+            );
+        }
+        telemetry.epoch_applied(&EpochMark {
+            epoch: 2,
+            ..EpochMark::default()
+        });
+        let finalized = telemetry.straggler_ratio();
+        assert!((finalized - 1.5).abs() < 1e-12, "max/mean of (1, 3) ms");
+        telemetry.epoch_applied(&EpochMark {
+            epoch: 3,
+            ..EpochMark::default()
+        });
+        assert_eq!(telemetry.straggler_ratio(), finalized);
+        let snapshot = telemetry.journal().last().expect("epoch recorded");
+        assert!(snapshot.straggler_ratio.is_finite());
+        assert_eq!(snapshot.straggler_ratio, finalized);
+    }
 }
