@@ -319,6 +319,7 @@ mod tests {
             ("cc_traced", "cc_cold_sequential", 1.05, None),
             ("cc_served", "cc_cold_sequential", 1.05, None),
             ("cc_warm_epoch", "cc_cold", 1.0, None),
+            ("cc_warm_epoch_served", "cc_warm_epoch", 1.05, Some(2)),
             ("sssp_warm_epoch", "sssp_cold", 1.0, None),
             ("bfs_warm_epoch", "bfs_cold", 1.0, None),
         ] {

@@ -1,0 +1,326 @@
+//! Process configuration from the `EBV_*` environment variables.
+//!
+//! Before this module, every binary parsed its own slice of the
+//! environment: the `evolving_graph` example read `EBV_MODE`,
+//! `EBV_OBS_ADDR`, `EBV_TRACE` and `EBV_METRICS` inline, and the shared
+//! worker pool read `EBV_POOL_SIZE` with a *silent* fallback on malformed
+//! values. [`EnvConfig`] is the one place all five knobs are parsed, with
+//! one policy: a malformed value is a typed [`ConfigError`], never a silent
+//! default — a misspelt mode or pool size must not fake a measurement.
+//!
+//! The parsers are pure functions over strings (see
+//! [`EnvConfig::from_lookup`]), so the malformed-value behaviour is unit
+//! tested without touching the process environment.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::engine::{BspEngine, ExecutionMode};
+
+/// The environment variable selecting the [`ExecutionMode`].
+pub const ENV_MODE: &str = "EBV_MODE";
+/// The environment variable sizing the shared worker pool.
+pub const ENV_POOL_SIZE: &str = "EBV_POOL_SIZE";
+/// The environment variable binding the live observability server.
+pub const ENV_OBS_ADDR: &str = "EBV_OBS_ADDR";
+/// The environment variable naming the Chrome-trace output file.
+pub const ENV_TRACE: &str = "EBV_TRACE";
+/// The environment variable naming the Prometheus-text output file.
+pub const ENV_METRICS: &str = "EBV_METRICS";
+
+/// A malformed `EBV_*` environment value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `EBV_MODE` is not one of the recognised mode spellings.
+    InvalidMode {
+        /// The rejected value.
+        value: String,
+    },
+    /// `EBV_POOL_SIZE` (or a `pooled:<n>` mode suffix) is not a positive
+    /// integer.
+    InvalidPoolSize {
+        /// The rejected value.
+        value: String,
+    },
+    /// The variable is set but is not valid UTF-8.
+    NotUnicode {
+        /// The variable's name.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidMode { value } => write!(
+                f,
+                "{ENV_MODE} must be `sequential`, `threaded`, `spawn-per-step` or `pooled:<n>`, \
+                 got {value:?}"
+            ),
+            ConfigError::InvalidPoolSize { value } => {
+                write!(
+                    f,
+                    "{ENV_POOL_SIZE} must be a positive integer, got {value:?}"
+                )
+            }
+            ConfigError::NotUnicode { name } => write!(f, "{name} is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The consolidated `EBV_*` environment configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ebv_bsp::config::EnvConfig;
+/// use ebv_bsp::ExecutionMode;
+///
+/// let config = EnvConfig::from_lookup(|name| match name {
+///     "EBV_MODE" => Some("threaded".to_string()),
+///     "EBV_OBS_ADDR" => Some("127.0.0.1:9808".to_string()),
+///     _ => None,
+/// })
+/// .unwrap();
+/// assert_eq!(config.mode, ExecutionMode::Threaded);
+/// assert_eq!(config.obs_addr.as_deref(), Some("127.0.0.1:9808"));
+/// assert_eq!(config.engine().mode(), ExecutionMode::Threaded);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// Execution mode from `EBV_MODE` (default [`ExecutionMode::Threaded`]
+    /// — the mode every end-to-end driver has defaulted to since PR 5).
+    pub mode: ExecutionMode,
+    /// Shared-pool size override from `EBV_POOL_SIZE`.
+    pub pool_size: Option<usize>,
+    /// Live observability bind address from `EBV_OBS_ADDR`.
+    pub obs_addr: Option<String>,
+    /// Chrome-trace output path from `EBV_TRACE`.
+    pub trace_out: Option<PathBuf>,
+    /// Prometheus-text output path from `EBV_METRICS`.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            mode: ExecutionMode::Threaded,
+            pool_size: None,
+            obs_addr: None,
+            trace_out: None,
+            metrics_out: None,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// Reads the five `EBV_*` variables from the process environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] among the set variables; unset
+    /// variables take their defaults.
+    pub fn from_env() -> Result<EnvConfig, ConfigError> {
+        EnvConfig::from_lookup(|name| match std::env::var(name) {
+            Ok(value) => Some(value),
+            Err(std::env::VarError::NotPresent) => None,
+            // Surfaced as a typed error by re-probing below.
+            Err(std::env::VarError::NotUnicode(_)) => Some("\u{fffd}".to_string()),
+        })
+        .map_err(|err| match err {
+            ConfigError::InvalidMode { ref value } | ConfigError::InvalidPoolSize { ref value }
+                if value == "\u{fffd}" =>
+            {
+                let name = if matches!(err, ConfigError::InvalidMode { .. }) {
+                    ENV_MODE
+                } else {
+                    ENV_POOL_SIZE
+                };
+                ConfigError::NotUnicode { name }
+            }
+            other => other,
+        })
+    }
+
+    /// Parses the configuration from any `name -> value` lookup — the
+    /// testable core of [`from_env`](Self::from_env).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for the first malformed value.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<EnvConfig, ConfigError> {
+        let mut config = EnvConfig::default();
+        if let Some(value) = lookup(ENV_MODE) {
+            config.mode = parse_mode(&value)?;
+        }
+        if let Some(value) = lookup(ENV_POOL_SIZE) {
+            config.pool_size = Some(parse_pool_size(&value)?);
+        }
+        config.obs_addr = lookup(ENV_OBS_ADDR);
+        config.trace_out = lookup(ENV_TRACE).map(PathBuf::from);
+        config.metrics_out = lookup(ENV_METRICS).map(PathBuf::from);
+        Ok(config)
+    }
+
+    /// A [`BspEngine`] in the configured execution mode.
+    pub fn engine(&self) -> BspEngine {
+        match self.mode {
+            ExecutionMode::Sequential => BspEngine::sequential(),
+            ExecutionMode::Threaded => BspEngine::threaded(),
+            ExecutionMode::Pooled(n) => BspEngine::pooled(n),
+            ExecutionMode::SpawnPerStep => BspEngine::spawn_per_step(),
+        }
+    }
+}
+
+/// Parses an `EBV_MODE` value: `sequential`, `threaded`, `spawn-per-step`
+/// or `pooled:<n>` (a run-local pool of exactly `n` threads).
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidMode`] for any other spelling, and
+/// [`ConfigError::InvalidPoolSize`] for a malformed `pooled:` suffix.
+pub fn parse_mode(value: &str) -> Result<ExecutionMode, ConfigError> {
+    match value.trim() {
+        "sequential" => Ok(ExecutionMode::Sequential),
+        "threaded" => Ok(ExecutionMode::Threaded),
+        "spawn-per-step" => Ok(ExecutionMode::SpawnPerStep),
+        trimmed => match trimmed.strip_prefix("pooled:") {
+            Some(threads) => Ok(ExecutionMode::Pooled(parse_pool_size(threads)?)),
+            None => Err(ConfigError::InvalidMode {
+                value: value.to_string(),
+            }),
+        },
+    }
+}
+
+/// Parses an `EBV_POOL_SIZE` value: a positive integer.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidPoolSize`] for zero, negative, non-numeric
+/// or empty input.
+pub fn parse_pool_size(value: &str) -> Result<usize, ConfigError> {
+    value
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| ConfigError::InvalidPoolSize {
+            value: value.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn unset_environment_defaults_to_threaded_and_no_outputs() {
+        let config = EnvConfig::from_lookup(|_| None).unwrap();
+        assert_eq!(config, EnvConfig::default());
+        assert_eq!(config.mode, ExecutionMode::Threaded);
+        assert_eq!(config.pool_size, None);
+        assert_eq!(config.engine().mode(), ExecutionMode::Threaded);
+    }
+
+    #[test]
+    fn every_mode_spelling_parses() {
+        assert_eq!(parse_mode("sequential").unwrap(), ExecutionMode::Sequential);
+        assert_eq!(parse_mode("threaded").unwrap(), ExecutionMode::Threaded);
+        assert_eq!(
+            parse_mode("spawn-per-step").unwrap(),
+            ExecutionMode::SpawnPerStep
+        );
+        assert_eq!(parse_mode("pooled:3").unwrap(), ExecutionMode::Pooled(3));
+        assert_eq!(
+            parse_mode(" threaded ").unwrap(),
+            ExecutionMode::Threaded,
+            "surrounding whitespace is tolerated"
+        );
+    }
+
+    #[test]
+    fn malformed_modes_are_typed_errors_not_silent_fallbacks() {
+        for bad in ["Threaded", "thread", "parallel", "", "pooled", "pooled:"] {
+            let err = parse_mode(bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ConfigError::InvalidMode { .. } | ConfigError::InvalidPoolSize { .. }
+                ),
+                "{bad:?} -> {err:?}"
+            );
+        }
+        assert_eq!(
+            parse_mode("pooled:0").unwrap_err(),
+            ConfigError::InvalidPoolSize {
+                value: "0".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn pool_sizes_must_be_positive_integers() {
+        assert_eq!(parse_pool_size("4").unwrap(), 4);
+        assert_eq!(parse_pool_size(" 16 ").unwrap(), 16);
+        for bad in ["0", "-1", "4.5", "four", "", "0x4"] {
+            assert_eq!(
+                parse_pool_size(bad).unwrap_err(),
+                ConfigError::InvalidPoolSize {
+                    value: bad.to_string()
+                },
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_lookup_round_trips_all_five_variables() {
+        let config = EnvConfig::from_lookup(lookup_of(&[
+            (ENV_MODE, "pooled:2"),
+            (ENV_POOL_SIZE, "6"),
+            (ENV_OBS_ADDR, "127.0.0.1:0"),
+            (ENV_TRACE, "trace.json"),
+            (ENV_METRICS, "metrics.prom"),
+        ]))
+        .unwrap();
+        assert_eq!(config.mode, ExecutionMode::Pooled(2));
+        assert_eq!(config.pool_size, Some(6));
+        assert_eq!(config.obs_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(config.trace_out, Some(PathBuf::from("trace.json")));
+        assert_eq!(config.metrics_out, Some(PathBuf::from("metrics.prom")));
+        assert_eq!(config.engine().mode(), ExecutionMode::Pooled(2));
+    }
+
+    #[test]
+    fn a_malformed_variable_fails_the_whole_parse() {
+        let err = EnvConfig::from_lookup(lookup_of(&[
+            (ENV_MODE, "threaded"),
+            (ENV_POOL_SIZE, "many"),
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidPoolSize {
+                value: "many".to_string()
+            }
+        );
+        assert!(err.to_string().contains("EBV_POOL_SIZE"));
+        assert!(EnvConfig::from_lookup(lookup_of(&[(ENV_MODE, "turbo")]))
+            .unwrap_err()
+            .to_string()
+            .contains("EBV_MODE"));
+    }
+}

@@ -32,8 +32,100 @@ use ebv_obs::{NoopRecorder, Phase, Recorder, SpanCtx};
 use crate::error::{BspError, Result};
 use crate::exchange::{self, MessagePlane};
 use crate::program::{SubgraphContext, SubgraphProgram};
+use crate::publish::ValueSink;
 use crate::stats::{ExecutionStats, SuperstepStats, WorkerSuperstepStats};
 use crate::subgraph::DistributedGraph;
+
+/// Options for one engine run — the single entry point that replaces the
+/// `run` / `run_with` / `run_warm` / `run_warm_with` × recorder × mode
+/// sprawl (those four remain as thin forwarders onto
+/// [`BspEngine::run_opts`]).
+///
+/// `V` is the program's value type, `R` the recorder
+/// ([`NoopRecorder`] until [`recorder`](RunOptions::recorder) swaps it —
+/// statically, so an untelemetered run still pays nothing).
+///
+/// # Examples
+///
+/// ```
+/// use ebv_bsp::{BspEngine, ExecutionMode, RunOptions};
+///
+/// // Equivalent to `engine.run_warm(&dg, &program, &prior)`, but with a
+/// // per-run mode override — no second engine needed:
+/// # fn demo(prior: &[u64]) {
+/// let _options: RunOptions<'_, u64> = RunOptions::new()
+///     .warm_seed(prior)
+///     .mode(ExecutionMode::Sequential);
+/// # }
+/// # demo(&[0]);
+/// ```
+#[derive(Clone, Copy)]
+pub struct RunOptions<'a, V, R: Recorder = NoopRecorder> {
+    /// Per-run override of the engine's [`ExecutionMode`].
+    mode: Option<ExecutionMode>,
+    /// Telemetry destination for phase spans and counters.
+    recorder: &'a R,
+    /// Warm-start seed: a previous epoch's global values.
+    warm: Option<&'a [V]>,
+    /// Snapshot publication: receives the finished run's values.
+    sink: Option<&'a dyn ValueSink<V>>,
+}
+
+impl<V> Default for RunOptions<'_, V, NoopRecorder> {
+    fn default() -> Self {
+        RunOptions::new()
+    }
+}
+
+impl<V> RunOptions<'_, V, NoopRecorder> {
+    /// Options for a plain cold run: engine-configured mode, no telemetry,
+    /// no warm seed, no publication.
+    pub fn new() -> Self {
+        RunOptions {
+            mode: None,
+            recorder: &NoopRecorder,
+            warm: None,
+            sink: None,
+        }
+    }
+}
+
+impl<'a, V, R: Recorder> RunOptions<'a, V, R> {
+    /// Overrides the engine's [`ExecutionMode`] for this run only.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Reports phase spans (gather, compute, scatter, barrier) and message
+    /// counters through `recorder`. Instrumentation does not perturb
+    /// execution: values and [`ExecutionStats`] stay bit-identical.
+    pub fn recorder<R2: Recorder>(self, recorder: &'a R2) -> RunOptions<'a, V, R2> {
+        RunOptions {
+            mode: self.mode,
+            recorder,
+            warm: self.warm,
+            sink: self.sink,
+        }
+    }
+
+    /// Warm-starts the run from `prior` — the global per-vertex values of a
+    /// previous epoch's [`BspOutcome`] — instead of
+    /// [`SubgraphProgram::initial_value`]. See
+    /// [`BspEngine::run_warm`] for the seeding rules.
+    pub fn warm_seed(mut self, prior: &'a [V]) -> Self {
+        self.warm = Some(prior);
+        self
+    }
+
+    /// Publishes the finished run's global values (and its
+    /// [`ExecutionStats`]) to `sink` before returning — the engine half of
+    /// epoch-snapshot publication (see [`crate::publish`]).
+    pub fn publish_to(mut self, sink: &'a dyn ValueSink<V>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
 
 /// The per-worker slice of engine state one superstep works on.
 struct WorkerPart<'a, V, M> {
@@ -208,7 +300,7 @@ impl BspEngine {
         distributed: &DistributedGraph,
         program: &P,
     ) -> Result<BspOutcome<P::Value>> {
-        self.execute(distributed, program, None, &NoopRecorder)
+        self.run_opts(distributed, program, RunOptions::new())
     }
 
     /// [`run`](BspEngine::run) with telemetry: phase spans (gather,
@@ -228,7 +320,7 @@ impl BspEngine {
         program: &P,
         recorder: &R,
     ) -> Result<BspOutcome<P::Value>> {
-        self.execute(distributed, program, None, recorder)
+        self.run_opts(distributed, program, RunOptions::new().recorder(recorder))
     }
 
     /// Executes `program` warm-started from `prior` — the global per-vertex
@@ -253,7 +345,7 @@ impl BspEngine {
         program: &P,
         prior: &[P::Value],
     ) -> Result<BspOutcome<P::Value>> {
-        self.execute(distributed, program, Some(prior), &NoopRecorder)
+        self.run_opts(distributed, program, RunOptions::new().warm_seed(prior))
     }
 
     /// [`run_warm`](BspEngine::run_warm) with telemetry — see
@@ -271,14 +363,18 @@ impl BspEngine {
         prior: &[P::Value],
         recorder: &R,
     ) -> Result<BspOutcome<P::Value>> {
-        self.execute(distributed, program, Some(prior), recorder)
+        self.run_opts(
+            distributed,
+            program,
+            RunOptions::new().warm_seed(prior).recorder(recorder),
+        )
     }
 
-    /// The executor implementing this engine's [`ExecutionMode`]. Created
-    /// once per run: a run-local pool spawns its threads here and joins
-    /// them when the box drops; the shared pool is only borrowed.
-    fn executor(&self) -> Box<dyn SuperstepExecutor> {
-        match self.mode {
+    /// The executor implementing `mode`. Created once per run: a run-local
+    /// pool spawns its threads here and joins them when the box drops; the
+    /// shared pool is only borrowed.
+    fn executor_for(mode: ExecutionMode) -> Box<dyn SuperstepExecutor> {
+        match mode {
             ExecutionMode::Sequential => Box::new(SequentialExecutor),
             ExecutionMode::Threaded => Box::new(PooledExecutor::shared()),
             ExecutionMode::Pooled(threads) => Box::new(PooledExecutor::own(threads)),
@@ -286,13 +382,28 @@ impl BspEngine {
         }
     }
 
-    fn execute<P: SubgraphProgram, R: Recorder>(
+    /// Executes `program` over `distributed` with explicit [`RunOptions`] —
+    /// the one true entry point; `run`, `run_with`, `run_warm` and
+    /// `run_warm_with` all forward here.
+    ///
+    /// When [`RunOptions::publish_to`] is set, the finished run's global
+    /// values and [`ExecutionStats`] are handed to the sink *before* this
+    /// returns, so a snapshot store has staged the values by the time the
+    /// caller sees the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspError::DidNotConverge`] when a quiescence-halting program
+    /// exhausts [`SubgraphProgram::max_supersteps`].
+    pub fn run_opts<P: SubgraphProgram, R: Recorder>(
         &self,
         distributed: &DistributedGraph,
         program: &P,
-        prior: Option<&[P::Value]>,
-        recorder: &R,
+        options: RunOptions<'_, P::Value, R>,
     ) -> Result<BspOutcome<P::Value>> {
+        let mode = options.mode.unwrap_or(self.mode);
+        let recorder = options.recorder;
+        let prior = options.warm;
         let num_workers = distributed.num_workers();
         if num_workers == 0 {
             return Err(BspError::InvalidParameter {
@@ -344,7 +455,7 @@ impl BspEngine {
         let epoch = distributed.epoch() as u32;
         // Engine-side (barrier) spans use worker == p by convention.
         let engine_worker = num_workers as u32;
-        let mut executor = self.executor();
+        let mut executor = Self::executor_for(mode);
         // Reused across supersteps: per-destination delivery counts.
         let mut received: Vec<usize> = Vec::with_capacity(num_workers);
 
@@ -505,11 +616,15 @@ impl BspEngine {
             })
             .collect();
 
-        Ok(BspOutcome {
+        let outcome = BspOutcome {
             values: global_values,
             stats,
             supersteps: executed,
-        })
+        };
+        if let Some(sink) = options.sink {
+            sink.publish(&outcome.values, &outcome.stats);
+        }
+        Ok(outcome)
     }
 }
 
@@ -814,6 +929,67 @@ mod tests {
         fn halt_on_quiescence(&self) -> bool {
             false
         }
+    }
+
+    #[test]
+    fn run_opts_mode_override_agrees_and_publishes() {
+        use crate::publish::ValueSink;
+        use std::sync::Mutex;
+
+        struct Captured {
+            published: Mutex<Vec<(Vec<u64>, usize)>>,
+        }
+        impl ValueSink<u64> for Captured {
+            fn publish(&self, values: &[u64], stats: &ExecutionStats) {
+                self.published
+                    .lock()
+                    .unwrap()
+                    .push((values.to_vec(), stats.num_supersteps()));
+            }
+        }
+
+        let g = named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 4).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let baseline = BspEngine::sequential().run(&dg, &MinLabel).unwrap();
+
+        // A threaded engine overridden to sequential per run, publishing.
+        let sink = Captured {
+            published: Mutex::new(Vec::new()),
+        };
+        let outcome = BspEngine::threaded()
+            .run_opts(
+                &dg,
+                &MinLabel,
+                RunOptions::new()
+                    .mode(ExecutionMode::Sequential)
+                    .publish_to(&sink),
+            )
+            .unwrap();
+        assert_eq!(outcome.values, baseline.values);
+        assert_eq!(outcome.stats, baseline.stats);
+        // The sink saw exactly the returned values, before `run_opts`
+        // returned.
+        let published = sink.published.lock().unwrap();
+        assert_eq!(published.len(), 1);
+        assert_eq!(published[0].0, outcome.values);
+        assert_eq!(published[0].1, outcome.stats.num_supersteps());
+    }
+
+    #[test]
+    fn run_opts_warm_seed_matches_run_warm() {
+        let g = named::small_social_graph();
+        let partition = EbvPartitioner::new().partition(&g, 3).unwrap();
+        let dg = DistributedGraph::build(&g, &partition).unwrap();
+        let cold = BspEngine::sequential().run(&dg, &MinLabel).unwrap();
+        let via_wrapper = BspEngine::sequential()
+            .run_warm(&dg, &MinLabel, &cold.values)
+            .unwrap();
+        let via_options = BspEngine::sequential()
+            .run_opts(&dg, &MinLabel, RunOptions::new().warm_seed(&cold.values))
+            .unwrap();
+        assert_eq!(via_wrapper.values, via_options.values);
+        assert_eq!(via_wrapper.stats, via_options.stats);
     }
 
     #[test]

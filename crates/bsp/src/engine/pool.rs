@@ -173,24 +173,31 @@ impl Drop for WorkerPool {
 /// reuses the same parked threads.
 ///
 /// Sizing: the `EBV_POOL_SIZE` environment variable (read once, at first
-/// use) when set to a positive integer, otherwise
-/// [`std::thread::available_parallelism`].
+/// use) when set to a positive integer — parsed by
+/// [`config::parse_pool_size`](crate::config::parse_pool_size), so a
+/// malformed value panics loudly instead of silently falling back —
+/// otherwise [`std::thread::available_parallelism`].
 pub fn shared_worker_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| WorkerPool::new(shared_pool_size()))
 }
 
 /// Resolves the shared pool's size from `EBV_POOL_SIZE` / the host.
+///
+/// # Panics
+///
+/// Panics on a malformed `EBV_POOL_SIZE` (zero, negative, non-numeric): a
+/// mis-sized pool would silently skew every threaded measurement.
 fn shared_pool_size() -> usize {
-    std::env::var("EBV_POOL_SIZE")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    match std::env::var(crate::config::ENV_POOL_SIZE) {
+        Ok(value) => match crate::config::parse_pool_size(&value) {
+            Ok(n) => n,
+            Err(err) => panic!("{err}"),
+        },
+        Err(_) => thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
 }
 
 /// Turns a captured panic payload into a readable message.

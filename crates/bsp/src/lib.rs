@@ -26,22 +26,26 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod config;
 mod engine;
 mod error;
 mod exchange;
 mod program;
+pub mod publish;
 mod routing;
 mod stats;
 mod subgraph;
 pub mod warm;
 
+pub use config::EnvConfig;
 pub use engine::{
     pool_threads_spawned, shared_worker_pool, BspEngine, BspOutcome, ExecutionMode, PooledExecutor,
-    SequentialExecutor, SpawnPerStepExecutor, StepOutcome, SuperstepExecutor, WorkerPool,
-    WorkerTask,
+    RunOptions, SequentialExecutor, SpawnPerStepExecutor, StepOutcome, SuperstepExecutor,
+    WorkerPool, WorkerTask,
 };
 pub use error::{BspError, Result};
 pub use program::{MessageTarget, SubgraphContext, SubgraphProgram};
+pub use publish::{EpochCommitter, ValueSink};
 pub use stats::{
     Breakdown, CostModel, ExecutionStats, SuperstepStats, TimelineSpan, WorkerSuperstepStats,
 };
@@ -54,7 +58,8 @@ pub use warm::{InvalidationPolicy, WarmFrontier};
 pub mod prelude {
     pub use crate::{
         Breakdown, BspEngine, BspOutcome, CostModel, DistributedGraph, DistributedGraphBuilder,
-        ExecutionStats, MutationBatch, MutationStats, Subgraph, SubgraphContext, SubgraphProgram,
+        ExecutionStats, MutationBatch, MutationStats, RunOptions, Subgraph, SubgraphContext,
+        SubgraphProgram,
     };
 }
 

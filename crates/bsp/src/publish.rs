@@ -1,0 +1,82 @@
+//! Publication seams: how computed epoch values leave the engine.
+//!
+//! A BSP run ends with a [`BspOutcome`](crate::BspOutcome) whose value
+//! vector dies with the caller — nothing downstream can answer "what is
+//! vertex v's component *right now*" while the next epoch computes. These
+//! two traits are the engine-side half of the epoch-versioned query plane:
+//!
+//! * [`ValueSink`] receives a finished run's master-value array (the
+//!   engine calls it from `run_opts` when
+//!   [`RunOptions::publish_to`](crate::RunOptions::publish_to) is set), so
+//!   a snapshot store can *stage* the values of the epoch being built;
+//! * [`EpochCommitter`] is called by the dynamic pipeline after an epoch's
+//!   mutations are applied and its programs have run, to *flip* everything
+//!   staged for that epoch into readers' view atomically.
+//!
+//! The split is what gives snapshot isolation at epoch granularity: any
+//! number of series (components, distances, ranks) are staged one by one,
+//! and a single commit makes them all visible together, tagged with the
+//! graph's epoch. The traits live here — in `ebv-bsp`, next to the engine —
+//! so the dependency direction stays clean: the engine and pipeline know
+//! only these seams, and the concrete store (`ebv-serve`) plugs in on top.
+
+use crate::stats::ExecutionStats;
+
+/// A destination for a finished run's master values.
+///
+/// `values[i]` is vertex `i`'s converged value, exactly as returned in
+/// [`BspOutcome::values`](crate::BspOutcome) (absent vertices hold the
+/// program's initial value). The sink must not assume it is called from any
+/// particular thread, but calls for a given store are not concurrent: the
+/// engine publishes synchronously at the end of the run that computed the
+/// values.
+pub trait ValueSink<V>: Sync {
+    /// Receives the run's values and the stats describing how they were
+    /// computed (supersteps, messages, convergence).
+    fn publish(&self, values: &[V], stats: &ExecutionStats);
+}
+
+/// An epoch-boundary commit hook: makes everything staged since the last
+/// commit visible to readers atomically, tagged with the graph's epoch.
+///
+/// The dynamic pipeline calls this once per *applied* epoch, after the
+/// caller's `on_epoch` hook has run every program it wants served (staging
+/// values through [`ValueSink`]s). Implementations must be safe to call
+/// while concurrent readers hold the previous epoch's snapshot — that is
+/// the entire point. The post-apply
+/// [`DistributedGraph`](crate::subgraph::DistributedGraph) is passed so a
+/// store can tag the snapshot (epoch, vertex count) and optionally derive
+/// structural reads (adjacency) from the same state the values were
+/// computed on.
+pub trait EpochCommitter {
+    /// Flips the staged values into the readable snapshot for
+    /// `distributed.epoch()`.
+    fn commit_epoch(&self, distributed: &crate::subgraph::DistributedGraph);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct CollectingSink {
+        seen: Mutex<Vec<Vec<u64>>>,
+    }
+
+    impl ValueSink<u64> for CollectingSink {
+        fn publish(&self, values: &[u64], _stats: &ExecutionStats) {
+            self.seen.lock().unwrap().push(values.to_vec());
+        }
+    }
+
+    #[test]
+    fn sinks_are_object_safe_and_receive_values() {
+        let sink = CollectingSink {
+            seen: Mutex::new(Vec::new()),
+        };
+        let stats = ExecutionStats::default();
+        let dyn_sink: &dyn ValueSink<u64> = &sink;
+        dyn_sink.publish(&[3, 1, 4], &stats);
+        assert_eq!(*sink.seen.lock().unwrap(), vec![vec![3, 1, 4]]);
+    }
+}

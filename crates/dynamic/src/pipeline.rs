@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use ebv_bsp::{DistributedGraph, MutationBatch, MutationStats};
+use ebv_bsp::{DistributedGraph, EpochCommitter, MutationBatch, MutationStats};
 use ebv_graph::Edge;
 use ebv_obs::{EpochMark, NoopRecorder, Phase, Recorder, SpanCtx};
 use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionId, PartitionMetrics};
@@ -188,6 +188,67 @@ impl EventPipeline {
         source: S,
         partitioner: &mut DynamicPartitioner,
         distributed: &mut DistributedGraph,
+        on_epoch: F,
+        recorder: &R,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
+        R: Recorder,
+    {
+        self.run_applied_inner(source, partitioner, distributed, None, on_epoch, recorder)
+    }
+
+    /// [`run_applied_with`](Self::run_applied_with) feeding the query
+    /// plane: after `on_epoch` returns `Ok` for a non-empty batch — i.e.
+    /// after the caller has re-run its programs and *staged* their values
+    /// through [`ValueSink`](ebv_bsp::ValueSink)s — the `committer` is
+    /// invoked once with the post-apply distribution, atomically flipping
+    /// everything staged for that epoch into readers' view.
+    ///
+    /// Ordering is the contract: commit happens strictly *after* `on_epoch`
+    /// succeeds, so concurrent readers either see the previous epoch's
+    /// complete snapshot or this epoch's complete snapshot — never a
+    /// half-staged mix, and never an epoch whose programs later failed.
+    /// Empty (fully-cancelled) batches do not advance the graph epoch and
+    /// are not committed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run_applied_with`](Self::run_applied_with); a failed
+    /// `on_epoch` skips the commit, leaving readers on the last good epoch.
+    pub fn run_applied_publishing<S, F, R>(
+        &self,
+        source: S,
+        partitioner: &mut DynamicPartitioner,
+        distributed: &mut DistributedGraph,
+        committer: &dyn EpochCommitter,
+        on_epoch: F,
+        recorder: &R,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
+        R: Recorder,
+    {
+        self.run_applied_inner(
+            source,
+            partitioner,
+            distributed,
+            Some(committer),
+            on_epoch,
+            recorder,
+        )
+    }
+
+    /// Shared implementation of the applied-epoch loop: apply, record,
+    /// hand to `on_epoch`, then (when publishing) commit the epoch.
+    fn run_applied_inner<S, F, R>(
+        &self,
+        source: S,
+        partitioner: &mut DynamicPartitioner,
+        distributed: &mut DistributedGraph,
+        committer: Option<&dyn EpochCommitter>,
         mut on_epoch: F,
         recorder: &R,
     ) -> Result<EventReport>
@@ -229,7 +290,14 @@ impl EventPipeline {
                 });
             }
             batch_index += 1;
-            on_epoch(distributed, batch, metrics, stats)
+            let applied = !batch.is_empty();
+            on_epoch(distributed, batch, metrics, stats)?;
+            if applied {
+                if let Some(committer) = committer {
+                    committer.commit_epoch(distributed);
+                }
+            }
+            Ok(())
         })
     }
 }
@@ -473,6 +541,116 @@ mod tests {
         assert!(report.batches().len() >= epochs);
         assert_eq!(distributed.epoch(), epochs, "only non-empty batches count");
         assert_eq!(distributed.num_edges(), partitioner.live_edges());
+    }
+
+    #[test]
+    fn run_applied_publishing_commits_after_each_applied_epoch() {
+        use std::sync::Mutex;
+
+        /// Records the graph epoch at each commit, and how many epochs
+        /// `on_epoch` had completed by then.
+        struct RecordingCommitter {
+            commits: Mutex<Vec<(usize, usize)>>,
+        }
+
+        impl EpochCommitter for RecordingCommitter {
+            fn commit_epoch(&self, distributed: &DistributedGraph) {
+                let staged = STAGED.with(|s| *s.borrow());
+                self.commits
+                    .lock()
+                    .unwrap()
+                    .push((distributed.epoch(), staged));
+            }
+        }
+
+        thread_local! {
+            static STAGED: std::cell::RefCell<usize> = const { std::cell::RefCell::new(0) };
+        }
+        STAGED.with(|s| *s.borrow_mut() = 0);
+
+        let stream = RmatEdgeStream::new(8, 1200).with_seed(11);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let mut distributed =
+            ebv_bsp::DistributedGraph::build_streaming(4, None, Vec::new()).unwrap();
+        let churn = ChurnStream::new(stream, 0.2).unwrap().with_seed(3);
+        let committer = RecordingCommitter {
+            commits: Mutex::new(Vec::new()),
+        };
+        EventPipeline::new(300)
+            .run_applied_publishing(
+                churn,
+                &mut partitioner,
+                &mut distributed,
+                &committer,
+                |_, batch, _, _| {
+                    if !batch.is_empty() {
+                        STAGED.with(|s| *s.borrow_mut() += 1);
+                    }
+                    Ok(())
+                },
+                &ebv_obs::NoopRecorder,
+            )
+            .unwrap();
+        let commits = committer.commits.into_inner().unwrap();
+        assert_eq!(
+            commits.len(),
+            distributed.epoch(),
+            "one commit per applied epoch"
+        );
+        for (i, &(epoch, staged)) in commits.iter().enumerate() {
+            assert_eq!(epoch, i + 1, "commits tag consecutive epochs");
+            assert_eq!(staged, i + 1, "commit runs after on_epoch staged the epoch");
+        }
+    }
+
+    #[test]
+    fn failed_on_epoch_skips_the_commit() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct CountingCommitter {
+            commits: AtomicUsize,
+        }
+
+        impl EpochCommitter for CountingCommitter {
+            fn commit_epoch(&self, _distributed: &DistributedGraph) {
+                self.commits.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let stream = RmatEdgeStream::new(8, 600).with_seed(7);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let mut distributed =
+            ebv_bsp::DistributedGraph::build_streaming(4, None, Vec::new()).unwrap();
+        let committer = CountingCommitter {
+            commits: AtomicUsize::new(0),
+        };
+        let mut epochs = 0usize;
+        let err = EventPipeline::new(200)
+            .run_applied_publishing(
+                InsertEvents::new(stream),
+                &mut partitioner,
+                &mut distributed,
+                &committer,
+                |_, _, _, _| {
+                    epochs += 1;
+                    if epochs == 2 {
+                        return Err(DynamicError::InvalidParameter {
+                            parameter: "sink",
+                            message: "program failed".to_string(),
+                        });
+                    }
+                    Ok(())
+                },
+                &ebv_obs::NoopRecorder,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("program failed"));
+        // Epoch 1 committed; epoch 2's failure left it unpublished.
+        assert_eq!(committer.commits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

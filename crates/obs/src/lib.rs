@@ -26,6 +26,11 @@
 //!   (hand-rolled `TcpListener` + thread pool, no async runtime) serving
 //!   `GET /metrics`, `/healthz`, `/trace.json` and `/epochs.json` from a
 //!   running [`Telemetry`] without stopping it.
+//! * [`Router`] — the typed route-registration seam behind the server:
+//!   `path → handler` trait objects, exact-then-longest-prefix matching,
+//!   so other crates (the `ebv-serve` query plane) mount routes on the
+//!   same listener via [`ObsServer::bind_with_router`] instead of editing
+//!   the server.
 //!
 //! Instrumentation must not perturb determinism: program values and
 //! `ExecutionStats` with tracing enabled — and with the server scraping
@@ -38,6 +43,7 @@
 mod journal;
 mod recorder;
 mod registry;
+mod router;
 mod serve;
 mod trace;
 
@@ -46,5 +52,6 @@ pub use recorder::{NoopRecorder, Phase, Recorder, SpanCtx};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS,
 };
-pub use serve::{ObsServer, ObsServerConfig};
+pub use router::{Request, Response, RouteHandler, Router};
+pub use serve::{telemetry_router, ObsServer, ObsServerConfig};
 pub use trace::{SpanRecord, SpanRing, Telemetry, DEFAULT_RING_CAPACITY};

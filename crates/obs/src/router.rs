@@ -1,0 +1,279 @@
+//! The typed route-registration seam of the ops server.
+//!
+//! PR 7's [`ObsServer`](crate::ObsServer) hard-coded its four routes in a
+//! `match` inside `serve.rs`, so mounting anything new (the query plane)
+//! meant editing the server. [`Router`] inverts that: routes are
+//! `path → handler` registrations ([`RouteHandler`] trait objects — any
+//! `Fn(&Request) -> Response` works), the server owns only the transport
+//! (sockets, timeouts, request-head limits, 405/400/431 mapping), and any
+//! crate can register routes before binding. The server's own telemetry
+//! routes re-register through the same seam with byte-identical responses.
+//!
+//! Matching is exact-first, then longest registered prefix (for routes like
+//! `/query/<series>/<vertex>` that embed parameters in the path). The 404
+//! body enumerates the registered routes, so it stays truthful as routes
+//! are mounted.
+
+use std::collections::HashMap;
+
+/// One parsed (GET) request, as seen by a [`RouteHandler`].
+#[derive(Debug, Clone, Copy)]
+pub struct Request<'a> {
+    /// Request method (the server only routes `GET`).
+    pub method: &'a str,
+    /// Path component of the target, without the query string.
+    pub path: &'a str,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub query: &'a str,
+}
+
+impl<'a> Request<'a> {
+    /// Splits a request target into a [`Request`] at `method`.
+    pub fn parse(method: &'a str, target: &'a str) -> Request<'a> {
+        let (path, query) = match target.split_once('?') {
+            Some((path, query)) => (path, query),
+            None => (target, ""),
+        };
+        Request {
+            method,
+            path,
+            query,
+        }
+    }
+
+    /// The value of query parameter `name` (`k=v` pairs joined by `&`; no
+    /// percent-decoding — the served names are plain identifiers).
+    pub fn query_param(&self, name: &str) -> Option<&'a str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
+    /// The path remainder after `prefix` — the parameter part of a
+    /// prefix-matched route.
+    pub fn path_after(&self, prefix: &str) -> &'a str {
+        self.path.strip_prefix(prefix).unwrap_or("")
+    }
+}
+
+/// One HTTP response, built by a handler and written by the server.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line (e.g. `200 OK`).
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// Extra response headers, each a full `Name: value` line.
+    pub extra_headers: Vec<&'static str>,
+}
+
+impl Response {
+    /// A `200 OK` response with an explicit content type.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status: "200 OK",
+            content_type,
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response::ok("application/json; charset=utf-8", body)
+    }
+
+    /// A plain-text response with an arbitrary status line.
+    pub fn text(status: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A `404 Not Found` plain-text response.
+    pub fn not_found(body: impl Into<String>) -> Response {
+        Response::text("404 Not Found", body)
+    }
+
+    /// A `400 Bad Request` plain-text response.
+    pub fn bad_request(body: impl Into<String>) -> Response {
+        Response::text("400 Bad Request", body)
+    }
+
+    /// A `503 Service Unavailable` plain-text response.
+    pub fn unavailable(body: impl Into<String>) -> Response {
+        Response::text("503 Service Unavailable", body)
+    }
+}
+
+/// A route's handler. Handlers run on the server's accept threads, so they
+/// must be `Send + Sync`; any matching closure qualifies through the
+/// blanket impl.
+pub trait RouteHandler: Send + Sync {
+    /// Produces the response for one matched request.
+    fn handle(&self, request: &Request<'_>) -> Response;
+}
+
+impl<F> RouteHandler for F
+where
+    F: Fn(&Request<'_>) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request<'_>) -> Response {
+        self(request)
+    }
+}
+
+/// Path → handler registry: exact matches first, then longest registered
+/// prefix. The route list drives both dispatch and the self-describing 404
+/// body.
+#[derive(Default)]
+pub struct Router {
+    exact: HashMap<String, Box<dyn RouteHandler>>,
+    prefix: Vec<(String, Box<dyn RouteHandler>)>,
+    /// Registration order of every route, for the 404 listing.
+    listing: Vec<String>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.listing)
+            .finish()
+    }
+}
+
+impl Router {
+    /// An empty router (dispatch answers 404 for everything).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers `handler` for exactly `path`. A later registration for the
+    /// same path replaces the earlier one.
+    pub fn route(&mut self, path: &str, handler: impl RouteHandler + 'static) -> &mut Self {
+        if self
+            .exact
+            .insert(path.to_string(), Box::new(handler))
+            .is_none()
+        {
+            self.listing.push(path.to_string());
+        }
+        self
+    }
+
+    /// Registers `handler` for every path starting with `prefix` (unless an
+    /// exact route matches first). Longer prefixes win over shorter ones.
+    pub fn route_prefix(
+        &mut self,
+        prefix: &str,
+        handler: impl RouteHandler + 'static,
+    ) -> &mut Self {
+        self.prefix.push((prefix.to_string(), Box::new(handler)));
+        // Longest-prefix-first, stable for equal lengths.
+        self.prefix.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+        self.listing.push(format!("{prefix}*"));
+        self
+    }
+
+    /// The registered routes, in registration order (prefix routes carry a
+    /// trailing `*`).
+    pub fn routes(&self) -> &[String] {
+        &self.listing
+    }
+
+    /// Routes one request: exact match, then longest matching prefix, then
+    /// a 404 listing the registered routes.
+    pub fn dispatch(&self, request: &Request<'_>) -> Response {
+        if let Some(handler) = self.exact.get(request.path) {
+            return handler.handle(request);
+        }
+        for (prefix, handler) in &self.prefix {
+            if request.path.starts_with(prefix.as_str()) {
+                return handler.handle(request);
+            }
+        }
+        Response::not_found(format!("unknown route; try {}\n", self.listing.join(" ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parse_splits_path_and_query() {
+        let request = Request::parse("GET", "/topk?series=cc&k=5");
+        assert_eq!(request.path, "/topk");
+        assert_eq!(request.query, "series=cc&k=5");
+        assert_eq!(request.query_param("series"), Some("cc"));
+        assert_eq!(request.query_param("k"), Some("5"));
+        assert_eq!(request.query_param("order"), None);
+
+        let bare = Request::parse("GET", "/metrics");
+        assert_eq!(bare.path, "/metrics");
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("anything"), None);
+    }
+
+    #[test]
+    fn exact_routes_win_over_prefix_routes() {
+        let mut router = Router::new();
+        router.route("/query", |_req: &Request<'_>| {
+            Response::json("{\"index\": true}")
+        });
+        router.route_prefix("/query/", |req: &Request<'_>| {
+            Response::ok("text/plain; charset=utf-8", req.path_after("/query/"))
+        });
+        let index = router.dispatch(&Request::parse("GET", "/query"));
+        assert_eq!(index.status, "200 OK");
+        assert!(index.body.contains("index"));
+        let param = router.dispatch(&Request::parse("GET", "/query/cc/42"));
+        assert_eq!(param.body, "cc/42");
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut router = Router::new();
+        router.route_prefix("/a/", |_req: &Request<'_>| {
+            Response::text("200 OK", "short")
+        });
+        router.route_prefix("/a/b/", |_req: &Request<'_>| {
+            Response::text("200 OK", "long")
+        });
+        assert_eq!(
+            router.dispatch(&Request::parse("GET", "/a/b/c")).body,
+            "long"
+        );
+        assert_eq!(
+            router.dispatch(&Request::parse("GET", "/a/x")).body,
+            "short"
+        );
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_listing_the_registered_routes() {
+        let mut router = Router::new();
+        router.route("/metrics", |_req: &Request<'_>| {
+            Response::ok("text/plain; charset=utf-8", "")
+        });
+        router.route("/healthz", |_req: &Request<'_>| Response::json("{}"));
+        let response = router.dispatch(&Request::parse("GET", "/nope"));
+        assert_eq!(response.status, "404 Not Found");
+        assert_eq!(response.body, "unknown route; try /metrics /healthz\n");
+    }
+
+    #[test]
+    fn re_registering_a_path_replaces_without_duplicating_the_listing() {
+        let mut router = Router::new();
+        router.route("/x", |_req: &Request<'_>| Response::text("200 OK", "one"));
+        router.route("/x", |_req: &Request<'_>| Response::text("200 OK", "two"));
+        assert_eq!(router.routes(), &["/x".to_string()]);
+        assert_eq!(router.dispatch(&Request::parse("GET", "/x")).body, "two");
+    }
+}

@@ -10,6 +10,14 @@
 //! | `/trace.json`  | Chrome trace of recent spans (non-destructive)     |
 //! | `/epochs.json` | the bounded [`EpochJournal`] time series           |
 //!
+//! Since PR 9 the server is route-agnostic: it owns the transport
+//! (sockets, timeouts, request-head limits, the 405/400/431 mapping) and
+//! dispatches every well-formed GET through a [`Router`]. The four
+//! telemetry routes above are themselves registrations (see
+//! [`telemetry_router`]), and [`ObsServer::bind_with_router`] mounts any
+//! additional routes — e.g. the `ebv-serve` query plane — on the same
+//! listener.
+//!
 //! [`EpochJournal`]: crate::EpochJournal
 
 use std::io::{self, Read, Write};
@@ -19,6 +27,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::router::{Request, Response, Router};
 use crate::trace::Telemetry;
 
 /// Tuning knobs of an [`ObsServer`].
@@ -64,22 +73,37 @@ pub struct ObsServer {
 
 impl ObsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9808"`, port 0 for an ephemeral
-    /// port) and starts serving `telemetry` on a pool of
+    /// port) and starts serving `telemetry`'s four routes on a pool of
     /// [`config.threads`](ObsServerConfig::threads) accept threads.
+    ///
+    /// Equivalent to [`bind_with_router`](ObsServer::bind_with_router) over
+    /// [`telemetry_router`]; use that pair to mount additional routes on
+    /// the same listener.
     pub fn bind(
         addr: impl ToSocketAddrs,
         telemetry: Arc<Telemetry>,
+        config: ObsServerConfig,
+    ) -> io::Result<ObsServer> {
+        let router = telemetry_router(telemetry, &config);
+        ObsServer::bind_with_router(addr, router, config)
+    }
+
+    /// Binds `addr` and serves whatever routes `router` registers.
+    pub fn bind_with_router(
+        addr: impl ToSocketAddrs,
+        router: Router,
         config: ObsServerConfig,
     ) -> io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
+        let router = Arc::new(router);
         let threads = config.threads.max(1);
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             let listener = listener.try_clone()?;
-            let telemetry = Arc::clone(&telemetry);
+            let router = Arc::clone(&router);
             let shutdown = Arc::clone(&shutdown);
             let requests = Arc::clone(&requests);
             let config = config.clone();
@@ -87,7 +111,7 @@ impl ObsServer {
                 std::thread::Builder::new()
                     .name(format!("ebv-obs-{worker}"))
                     .spawn(move || {
-                        accept_loop(&listener, &telemetry, &shutdown, &requests, &config);
+                        accept_loop(&listener, &router, &shutdown, &requests, &config);
                     })?,
             );
         }
@@ -135,9 +159,40 @@ impl Drop for ObsServer {
     }
 }
 
+/// Registers the four telemetry routes on a fresh [`Router`]: `/metrics`,
+/// `/healthz` (staleness threshold taken from `config`), `/trace.json` and
+/// `/epochs.json`. The returned router is open — mount more routes on it,
+/// then pass it to [`ObsServer::bind_with_router`].
+pub fn telemetry_router(telemetry: Arc<Telemetry>, config: &ObsServerConfig) -> Router {
+    let mut router = Router::new();
+    let t = Arc::clone(&telemetry);
+    router.route("/metrics", move |_req: &Request<'_>| {
+        Response::ok("text/plain; version=0.0.4; charset=utf-8", t.prometheus())
+    });
+    let t = Arc::clone(&telemetry);
+    let staleness_threshold = config.staleness_threshold;
+    router.route("/healthz", move |_req: &Request<'_>| {
+        let (status, body) = healthz(&t, staleness_threshold);
+        Response {
+            status,
+            content_type: "application/json; charset=utf-8",
+            body,
+            extra_headers: Vec::new(),
+        }
+    });
+    let t = Arc::clone(&telemetry);
+    router.route("/trace.json", move |_req: &Request<'_>| {
+        Response::json(t.chrome_trace())
+    });
+    router.route("/epochs.json", move |_req: &Request<'_>| {
+        Response::json(telemetry.journal().to_json())
+    });
+    router
+}
+
 fn accept_loop(
     listener: &TcpListener,
-    telemetry: &Telemetry,
+    router: &Router,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
     config: &ObsServerConfig,
@@ -159,7 +214,7 @@ fn accept_loop(
         // A handler panic (it cannot: handle_connection is infallible by
         // construction) or I/O error must never take down the listener —
         // errors are per-connection and the loop continues.
-        let _ = handle_connection(stream, telemetry, config);
+        let _ = handle_connection(stream, router, config);
     }
 }
 
@@ -167,7 +222,7 @@ fn accept_loop(
 /// exactly one response. Every malformed input maps to a clean 4xx.
 fn handle_connection(
     mut stream: TcpStream,
-    telemetry: &Telemetry,
+    router: &Router,
     config: &ObsServerConfig,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(config.read_timeout))?;
@@ -238,58 +293,26 @@ fn handle_connection(
         );
     }
 
-    let path = target.split('?').next().unwrap_or(target);
-    match path {
-        "/metrics" => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &telemetry.prometheus(),
-            &[],
-        ),
-        "/healthz" => {
-            let (status, body) = healthz(telemetry, config);
-            respond(
-                &mut stream,
-                status,
-                "application/json; charset=utf-8",
-                &body,
-                &[],
-            )
-        }
-        "/trace.json" => respond(
-            &mut stream,
-            "200 OK",
-            "application/json; charset=utf-8",
-            &telemetry.chrome_trace(),
-            &[],
-        ),
-        "/epochs.json" => respond(
-            &mut stream,
-            "200 OK",
-            "application/json; charset=utf-8",
-            &telemetry.journal().to_json(),
-            &[],
-        ),
-        _ => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "unknown route; try /metrics /healthz /trace.json /epochs.json\n",
-            &[],
-        ),
-    }
+    let request = Request::parse(method, target);
+    let response = router.dispatch(&request);
+    respond(
+        &mut stream,
+        response.status,
+        response.content_type,
+        &response.body,
+        &response.extra_headers,
+    )
 }
 
 /// Liveness JSON: `ok` while epochs keep landing (or none has yet),
 /// `stale` (HTTP 503) once the newest journal record is older than the
 /// configured threshold.
-fn healthz(telemetry: &Telemetry, config: &ObsServerConfig) -> (&'static str, String) {
+fn healthz(telemetry: &Telemetry, staleness_threshold: Duration) -> (&'static str, String) {
     let last_age = telemetry
         .journal()
         .last_at_seconds()
         .map(|at| (telemetry.elapsed_seconds() - at).max(0.0));
-    let stale = last_age.is_some_and(|age| age > config.staleness_threshold.as_secs_f64());
+    let stale = last_age.is_some_and(|age| age > staleness_threshold.as_secs_f64());
     let status = if stale {
         "503 Service Unavailable"
     } else {
@@ -304,7 +327,7 @@ fn healthz(telemetry: &Telemetry, config: &ObsServerConfig) -> (&'static str, St
             Some(age) => format!("{age:.3}"),
             None => "null".to_string(),
         },
-        config.staleness_threshold.as_secs_f64(),
+        staleness_threshold.as_secs_f64(),
         telemetry.dropped(),
     );
     (status, body)
@@ -496,6 +519,40 @@ mod tests {
 
         // After all of the above the listener still serves.
         assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_404_body_is_unchanged_and_extra_routes_mount_on_one_listener() {
+        let telemetry = Arc::new(Telemetry::isolated());
+        let config = ObsServerConfig::default();
+        // The telemetry router alone reproduces the PR 7 404 byte for byte.
+        let server =
+            ObsServer::bind("127.0.0.1:0", Arc::clone(&telemetry), config.clone()).expect("bind");
+        let response = get(server.local_addr(), "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"));
+        assert!(
+            response.ends_with("unknown route; try /metrics /healthz /trace.json /epochs.json\n")
+        );
+        server.shutdown();
+
+        // A custom route registered on top shares the listener with the
+        // telemetry routes; the 404 listing grows to include it.
+        let mut router = crate::serve::telemetry_router(telemetry, &config);
+        router.route("/custom", |req: &crate::router::Request<'_>| {
+            crate::router::Response::ok(
+                "text/plain; charset=utf-8",
+                format!("param={}\n", req.query_param("x").unwrap_or("none")),
+            )
+        });
+        let server = ObsServer::bind_with_router("127.0.0.1:0", router, config).expect("bind");
+        let addr = server.local_addr();
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200 OK"));
+        let custom = get(addr, "/custom?x=7");
+        assert!(custom.starts_with("HTTP/1.1 200 OK"));
+        assert!(custom.ends_with("param=7\n"));
+        assert!(get(addr, "/nope")
+            .ends_with("unknown route; try /metrics /healthz /trace.json /epochs.json /custom\n"));
         server.shutdown();
     }
 

@@ -1,0 +1,680 @@
+//! The epoch-versioned snapshot store: staged series, atomic epoch flips,
+//! lock-free reads.
+//!
+//! The write side is the epoch driver: after each applied mutation epoch
+//! it runs its programs with
+//! [`RunOptions::publish_to`](ebv_bsp::RunOptions::publish_to) pointed at
+//! the store's [`series sinks`](SnapshotStore::series_sink) (staging one
+//! named value array per program), then commits — one
+//! [`EpochCell`](crate::EpochCell) flip that makes every staged series
+//! visible together, tagged with the epoch. The read side is any number of
+//! [`QueryHandle`] clones: point lookups, top-k and neighborhood reads all
+//! start from [`QueryHandle::snapshot`], an `Arc` to an immutable
+//! [`GraphSnapshot`], so a reader holding epoch N's answers is undisturbed
+//! by the flip to N+1 — snapshot isolation at epoch granularity, never a
+//! torn read.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ebv_algorithms::PageRankValue;
+use ebv_bsp::publish::{EpochCommitter, ValueSink};
+use ebv_bsp::{DistributedGraph, ExecutionStats};
+use ebv_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// One queried value, as served: `Null` renders a vertex whose value is
+/// the series' absent sentinel (e.g. an unreachable SSSP distance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryValue {
+    /// An integral value (component label, distance, BFS depth).
+    U64(u64),
+    /// A floating-point value (PageRank).
+    F64(f64),
+    /// The series marks this vertex absent (e.g. unreachable).
+    Null,
+}
+
+impl QueryValue {
+    /// The value as a JSON fragment (`Null` becomes `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            QueryValue::U64(v) => v.to_string(),
+            QueryValue::F64(v) => format!("{v}"),
+            QueryValue::Null => "null".to_string(),
+        }
+    }
+}
+
+/// A published series' backing array.
+#[derive(Debug, Clone)]
+pub enum SeriesData {
+    /// `u64` per vertex, with an optional absent sentinel that serves as
+    /// `null` (and is skipped by top-k).
+    U64 {
+        /// Per-vertex values, indexed by vertex id.
+        values: Vec<u64>,
+        /// The sentinel meaning "no value" (e.g. `UNREACHABLE`).
+        absent: Option<u64>,
+    },
+    /// `f64` per vertex.
+    F64(Vec<f64>),
+}
+
+impl SeriesData {
+    fn len(&self) -> usize {
+        match self {
+            SeriesData::U64 { values, .. } => values.len(),
+            SeriesData::F64(values) => values.len(),
+        }
+    }
+
+    fn get(&self, vertex: usize) -> QueryValue {
+        match self {
+            SeriesData::U64 { values, absent } => {
+                let v = values[vertex];
+                if Some(v) == *absent {
+                    QueryValue::Null
+                } else {
+                    QueryValue::U64(v)
+                }
+            }
+            SeriesData::F64(values) => QueryValue::F64(values[vertex]),
+        }
+    }
+}
+
+/// One named per-vertex value array (e.g. `cc`, `sssp`, `pagerank`).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series name, as addressed by `/query/<name>/<vertex>`.
+    pub name: String,
+    /// The values.
+    pub data: SeriesData,
+}
+
+/// Global out-neighborhoods in CSR form, rebuilt from the distribution's
+/// per-subgraph CSRs at commit time (under a vertex-cut every edge lives
+/// in exactly one subgraph; lists are sorted and deduplicated so edge-cut
+/// distributions serve correctly too).
+#[derive(Debug, Clone, Default)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    targets: Vec<u64>,
+}
+
+impl Adjacency {
+    /// Builds the global out-adjacency of `distributed`.
+    pub fn from_distributed(distributed: &DistributedGraph) -> Adjacency {
+        let n = distributed.num_vertices();
+        let mut lists: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for sg in distributed.subgraphs() {
+            for local in 0..sg.num_vertices() {
+                let src = sg.vertex_at(local).index();
+                for &neighbor in sg.out_neighbors(local) {
+                    lists[src].push(sg.vertex_at(neighbor as usize).raw());
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &mut lists {
+            list.sort_unstable();
+            list.dedup();
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        Adjacency { offsets, targets }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The sorted out-neighbors of `vertex`.
+    pub fn neighbors(&self, vertex: usize) -> &[u64] {
+        &self.targets[self.offsets[vertex]..self.offsets[vertex + 1]]
+    }
+}
+
+/// Why a read could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// No epoch has been committed yet.
+    NotReady,
+    /// The snapshot has no series of that name.
+    UnknownSeries,
+    /// The vertex id is outside the snapshot's vertex space.
+    UnknownVertex,
+    /// The snapshot was committed without adjacency.
+    NoAdjacency,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotReady => write!(f, "no epoch published yet"),
+            QueryError::UnknownSeries => write!(f, "unknown series"),
+            QueryError::UnknownVertex => write!(f, "unknown vertex"),
+            QueryError::NoAdjacency => write!(f, "snapshot has no adjacency"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One committed epoch's complete, immutable served state.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSnapshot {
+    /// The mutation epoch these values belong to.
+    pub epoch: u64,
+    /// The vertex-space size at this epoch.
+    pub num_vertices: usize,
+    series: Vec<Series>,
+    adjacency: Option<Adjacency>,
+}
+
+impl GraphSnapshot {
+    /// The published series names, in staging order.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The named series, if published.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Vertex `vertex`'s value in series `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownSeries`] / [`QueryError::UnknownVertex`].
+    pub fn lookup(&self, name: &str, vertex: u64) -> Result<QueryValue, QueryError> {
+        let series = self.series(name).ok_or(QueryError::UnknownSeries)?;
+        let index = vertex as usize;
+        if index >= series.data.len() {
+            return Err(QueryError::UnknownVertex);
+        }
+        Ok(series.data.get(index))
+    }
+
+    /// The `k` best vertices of series `name` as `(vertex, value)` pairs:
+    /// largest first when `descending`, smallest first otherwise; ties go
+    /// to the lower vertex id; absent (`Null`) vertices are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownSeries`].
+    pub fn topk(
+        &self,
+        name: &str,
+        k: usize,
+        descending: bool,
+    ) -> Result<Vec<(u64, QueryValue)>, QueryError> {
+        let series = self.series(name).ok_or(QueryError::UnknownSeries)?;
+        // Rank on an f64 key (exact for every id/distance/depth in range;
+        // the returned values stay exact).
+        let mut ranked: Vec<(f64, u64)> = match &series.data {
+            SeriesData::U64 { values, absent } => values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| Some(**v) != *absent)
+                .map(|(i, &v)| (v as f64, i as u64))
+                .collect(),
+            SeriesData::F64(values) => values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u64))
+                .collect(),
+        };
+        let better = |a: &(f64, u64), b: &(f64, u64)| {
+            let by_value = if descending {
+                b.0.total_cmp(&a.0)
+            } else {
+                a.0.total_cmp(&b.0)
+            };
+            by_value.then_with(|| a.1.cmp(&b.1))
+        };
+        if ranked.len() > k && k > 0 {
+            ranked.select_nth_unstable_by(k - 1, better);
+            ranked.truncate(k);
+        } else {
+            ranked.truncate(k);
+        }
+        ranked.sort_unstable_by(better);
+        Ok(ranked
+            .into_iter()
+            .map(|(_, vertex)| {
+                let value = series.data.get(vertex as usize);
+                (vertex, value)
+            })
+            .collect())
+    }
+
+    /// The sorted out-neighbors of `vertex`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::NoAdjacency`] / [`QueryError::UnknownVertex`].
+    pub fn neighbors(&self, vertex: u64) -> Result<&[u64], QueryError> {
+        let adjacency = self.adjacency.as_ref().ok_or(QueryError::NoAdjacency)?;
+        let index = vertex as usize;
+        if index >= adjacency.num_vertices() {
+            return Err(QueryError::UnknownVertex);
+        }
+        Ok(adjacency.neighbors(index))
+    }
+}
+
+/// The store's shared core: the publication cell plus the read-side
+/// metrics, shared between the committing [`SnapshotStore`] and every
+/// [`QueryHandle`].
+struct StoreShared {
+    cell: crate::EpochCell<GraphSnapshot>,
+    reads: Arc<Counter>,
+    read_seconds: Arc<Histogram>,
+    epoch_gauge: Arc<Gauge>,
+    commits: Arc<Counter>,
+}
+
+/// A value type the engine can stage into a named series.
+pub trait SeriesValue: Clone {
+    /// Packs a published value array into the series representation.
+    fn pack(values: &[Self]) -> SeriesData;
+}
+
+impl SeriesValue for u64 {
+    fn pack(values: &[Self]) -> SeriesData {
+        SeriesData::U64 {
+            values: values.to_vec(),
+            absent: None,
+        }
+    }
+}
+
+impl SeriesValue for f64 {
+    fn pack(values: &[Self]) -> SeriesData {
+        SeriesData::F64(values.to_vec())
+    }
+}
+
+impl SeriesValue for PageRankValue {
+    /// PageRank publishes the normalized ranks, not the internal
+    /// `(rank, partial)` pairs.
+    fn pack(values: &[Self]) -> SeriesData {
+        SeriesData::F64(ebv_algorithms::ranks(values))
+    }
+}
+
+/// A [`ValueSink`] staging one named series into its [`SnapshotStore`].
+/// Obtained from [`SnapshotStore::series_sink`]; pass it to
+/// [`RunOptions::publish_to`](ebv_bsp::RunOptions::publish_to).
+pub struct SeriesSink<'a, V> {
+    store: &'a SnapshotStore,
+    name: &'a str,
+    absent: Option<u64>,
+    _marker: std::marker::PhantomData<fn(&V)>,
+}
+
+impl<V> SeriesSink<'_, V> {
+    /// Treats `sentinel` as "no value": lookups serve `null` and top-k
+    /// skips it. Only meaningful for `u64` series (e.g.
+    /// [`UNREACHABLE`](ebv_algorithms::UNREACHABLE) distances).
+    pub fn with_absent(mut self, sentinel: u64) -> Self {
+        self.absent = Some(sentinel);
+        self
+    }
+}
+
+impl<V: SeriesValue> ValueSink<V> for SeriesSink<'_, V> {
+    fn publish(&self, values: &[V], _stats: &ExecutionStats) {
+        let mut data = V::pack(values);
+        if let (SeriesData::U64 { absent, .. }, Some(sentinel)) = (&mut data, self.absent) {
+            *absent = Some(sentinel);
+        }
+        self.store.stage(Series {
+            name: self.name.to_string(),
+            data,
+        });
+    }
+}
+
+/// The writable half of the query plane: stage series, then
+/// [`commit`](SnapshotStore::commit) them as one epoch.
+///
+/// Reads go through [`QueryHandle`]s (see
+/// [`handle`](SnapshotStore::handle)); the store itself is the single
+/// writer the epoch driver owns.
+pub struct SnapshotStore {
+    shared: Arc<StoreShared>,
+    staging: Mutex<Vec<Series>>,
+    /// Whether [`EpochCommitter::commit_epoch`] rebuilds adjacency; set by
+    /// [`serve_adjacency`](SnapshotStore::serve_adjacency).
+    adjacency_from_pipeline: std::sync::atomic::AtomicBool,
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore::new()
+    }
+}
+
+impl SnapshotStore {
+    /// A store reporting read metrics to the global [`MetricsRegistry`].
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::with_registry(MetricsRegistry::global())
+    }
+
+    /// A store reporting `ebv_query_reads_total`, `ebv_query_read_seconds`,
+    /// `ebv_query_epoch` and `ebv_query_commits_total` to `registry`.
+    pub fn with_registry(registry: &MetricsRegistry) -> SnapshotStore {
+        SnapshotStore {
+            shared: Arc::new(StoreShared {
+                cell: crate::EpochCell::new(Arc::new(GraphSnapshot::default())),
+                reads: registry.counter("ebv_query_reads_total"),
+                read_seconds: registry.histogram("ebv_query_read_seconds"),
+                epoch_gauge: registry.gauge("ebv_query_epoch"),
+                commits: registry.counter("ebv_query_commits_total"),
+            }),
+            staging: Mutex::new(Vec::new()),
+            adjacency_from_pipeline: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// A cheap clonable read handle sharing this store's snapshots.
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stages `series` for the next commit, replacing any staged series of
+    /// the same name. Staged series are invisible to readers until
+    /// [`commit`](SnapshotStore::commit).
+    pub fn stage(&self, series: Series) {
+        let mut staging = self.staging.lock().unwrap_or_else(|e| e.into_inner());
+        match staging.iter_mut().find(|s| s.name == series.name) {
+            Some(slot) => *slot = series,
+            None => staging.push(series),
+        }
+    }
+
+    /// A sink staging the engine's published values as series `name`.
+    /// The `'static` name keeps sinks trivially reusable across epochs.
+    pub fn series_sink<V: SeriesValue>(&self, name: &'static str) -> SeriesSink<'_, V> {
+        SeriesSink {
+            store: self,
+            name,
+            absent: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Makes [`EpochCommitter::commit_epoch`] rebuild and serve the
+    /// global adjacency each epoch (an `O(E)` pass — leave it off when
+    /// only value lookups are served, e.g. in benchmarks).
+    pub fn serve_adjacency(&self, enabled: bool) {
+        self.adjacency_from_pipeline
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Atomically publishes everything staged since the last commit as
+    /// `epoch`'s snapshot. Readers holding the previous snapshot are
+    /// undisturbed; new reads see the complete new epoch.
+    pub fn commit(&self, epoch: u64, num_vertices: usize, adjacency: Option<Adjacency>) {
+        let staged = {
+            let mut staging = self.staging.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *staging)
+        };
+        // Carry forward series not re-staged this epoch (a program that
+        // didn't run still serves its last committed values), and the
+        // adjacency when this commit brings none.
+        let previous = self.shared.cell.load();
+        let mut series = staged;
+        for old in &previous.series {
+            if !series.iter().any(|s| s.name == old.name) {
+                series.push(old.clone());
+            }
+        }
+        let adjacency = adjacency.or_else(|| previous.adjacency.clone());
+        self.shared.cell.store(Arc::new(GraphSnapshot {
+            epoch,
+            num_vertices,
+            series,
+            adjacency,
+        }));
+        self.shared.epoch_gauge.set(epoch as f64);
+        self.shared.commits.add(1);
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("epoch", &self.shared.cell.load().epoch)
+            .finish()
+    }
+}
+
+impl EpochCommitter for SnapshotStore {
+    /// The pipeline-side commit: called by
+    /// `EventPipeline::run_applied_publishing` after each applied epoch's
+    /// programs have staged their series. Rebuilds adjacency from the
+    /// post-apply distribution when [`serve_adjacency`] is on.
+    ///
+    /// [`serve_adjacency`]: SnapshotStore::serve_adjacency
+    fn commit_epoch(&self, distributed: &DistributedGraph) {
+        let adjacency = self
+            .adjacency_from_pipeline
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .then(|| Adjacency::from_distributed(distributed));
+        self.commit(
+            distributed.epoch() as u64,
+            distributed.num_vertices(),
+            adjacency,
+        );
+    }
+}
+
+/// The read half of the query plane: cheap to clone, usable from any
+/// thread (scrapers, HTTP handlers, benchmark hammers). Every read is
+/// counted and timed into the store's registry
+/// (`ebv_query_reads_total`, `ebv_query_read_seconds`).
+#[derive(Clone)]
+pub struct QueryHandle {
+    shared: Arc<StoreShared>,
+}
+
+impl QueryHandle {
+    /// The current epoch's complete snapshot — the zero-copy entry point
+    /// for batched reads; the `Arc` keeps the epoch alive against later
+    /// flips.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::NotReady`] before the first commit.
+    pub fn snapshot(&self) -> Result<Arc<GraphSnapshot>, QueryError> {
+        let snapshot = self.shared.cell.load();
+        if snapshot.epoch == 0 && snapshot.series.is_empty() {
+            return Err(QueryError::NotReady);
+        }
+        Ok(snapshot)
+    }
+
+    /// Point lookup: vertex `vertex`'s value in series `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] as for [`GraphSnapshot::lookup`].
+    pub fn lookup(&self, name: &str, vertex: u64) -> Result<QueryValue, QueryError> {
+        self.timed(|snapshot| snapshot.lookup(name, vertex))
+    }
+
+    /// Top-k query — see [`GraphSnapshot::topk`].
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] as for [`GraphSnapshot::topk`].
+    pub fn topk(
+        &self,
+        name: &str,
+        k: usize,
+        descending: bool,
+    ) -> Result<Vec<(u64, QueryValue)>, QueryError> {
+        self.timed(|snapshot| snapshot.topk(name, k, descending))
+    }
+
+    /// Neighborhood query: `vertex`'s sorted out-neighbors.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] as for [`GraphSnapshot::neighbors`].
+    pub fn neighbors(&self, vertex: u64) -> Result<Vec<u64>, QueryError> {
+        self.timed(|snapshot| snapshot.neighbors(vertex).map(|n| n.to_vec()))
+    }
+
+    /// Runs `read` against one pinned snapshot, counting and timing it as
+    /// a single read — the HTTP handlers use this so a whole response
+    /// (epoch tag + values) comes from one epoch.
+    pub(crate) fn timed<T>(
+        &self,
+        read: impl FnOnce(&GraphSnapshot) -> Result<T, QueryError>,
+    ) -> Result<T, QueryError> {
+        let started = Instant::now();
+        let snapshot = self.snapshot()?;
+        let result = read(&snapshot);
+        self.shared.reads.add(1);
+        self.shared
+            .read_seconds
+            .observe(started.elapsed().as_secs_f64());
+        result
+    }
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("epoch", &self.shared.cell.load().epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_cc() -> (SnapshotStore, QueryHandle) {
+        let registry = MetricsRegistry::new();
+        let store = SnapshotStore::with_registry(&registry);
+        let handle = store.handle();
+        store.stage(Series {
+            name: "cc".to_string(),
+            data: SeriesData::U64 {
+                values: vec![0, 0, 0, 3, 3, 3],
+                absent: None,
+            },
+        });
+        store.commit(1, 6, None);
+        (store, handle)
+    }
+
+    #[test]
+    fn reads_before_the_first_commit_are_not_ready() {
+        let registry = MetricsRegistry::new();
+        let store = SnapshotStore::with_registry(&registry);
+        let handle = store.handle();
+        assert_eq!(handle.lookup("cc", 0), Err(QueryError::NotReady));
+        assert_eq!(handle.snapshot().unwrap_err(), QueryError::NotReady);
+    }
+
+    #[test]
+    fn lookup_topk_and_errors() {
+        let (_store, handle) = store_with_cc();
+        assert_eq!(handle.lookup("cc", 4), Ok(QueryValue::U64(3)));
+        assert_eq!(handle.lookup("cc", 99), Err(QueryError::UnknownVertex));
+        assert_eq!(handle.lookup("nope", 0), Err(QueryError::UnknownSeries));
+        assert_eq!(handle.neighbors(0), Err(QueryError::NoAdjacency));
+
+        // Descending top-2: the two lowest vertices labeled 3, ties by id.
+        let top = handle.topk("cc", 2, true).unwrap();
+        assert_eq!(top, vec![(3, QueryValue::U64(3)), (4, QueryValue::U64(3))]);
+        // Ascending top-2: label-0 vertices first.
+        let bottom = handle.topk("cc", 2, false).unwrap();
+        assert_eq!(
+            bottom,
+            vec![(0, QueryValue::U64(0)), (1, QueryValue::U64(0))]
+        );
+        // k larger than the series serves everything.
+        assert_eq!(handle.topk("cc", 100, true).unwrap().len(), 6);
+        assert_eq!(handle.topk("cc", 0, true).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn absent_sentinels_serve_null_and_are_skipped_by_topk() {
+        let registry = MetricsRegistry::new();
+        let store = SnapshotStore::with_registry(&registry);
+        let handle = store.handle();
+        store.stage(Series {
+            name: "sssp".to_string(),
+            data: SeriesData::U64 {
+                values: vec![0, 1, u64::MAX, 2],
+                absent: Some(u64::MAX),
+            },
+        });
+        store.commit(1, 4, None);
+        assert_eq!(handle.lookup("sssp", 2), Ok(QueryValue::Null));
+        assert_eq!(QueryValue::Null.to_json(), "null");
+        let top = handle.topk("sssp", 10, true).unwrap();
+        assert_eq!(top.len(), 3, "the unreachable vertex is skipped");
+        assert_eq!(top[0], (3, QueryValue::U64(2)));
+    }
+
+    #[test]
+    fn commits_carry_forward_unstaged_series_and_bump_metrics() {
+        let registry = MetricsRegistry::new();
+        let store = SnapshotStore::with_registry(&registry);
+        let handle = store.handle();
+        store.stage(Series {
+            name: "cc".to_string(),
+            data: u64::pack(&[7, 7]),
+        });
+        store.commit(1, 2, None);
+        // Epoch 2 stages only a rank series; cc must still serve.
+        store.stage(Series {
+            name: "rank".to_string(),
+            data: f64::pack(&[0.5, 0.5]),
+        });
+        store.commit(2, 2, None);
+        let snapshot = handle.snapshot().unwrap();
+        assert_eq!(snapshot.epoch, 2);
+        assert_eq!(snapshot.series_names(), vec!["rank", "cc"]);
+        assert_eq!(handle.lookup("cc", 0), Ok(QueryValue::U64(7)));
+        assert_eq!(handle.lookup("rank", 1), Ok(QueryValue::F64(0.5)));
+
+        let reads = registry.counter("ebv_query_reads_total").get();
+        assert!(reads >= 2);
+        assert!(registry.histogram("ebv_query_read_seconds").count() >= 2);
+        assert_eq!(registry.gauge("ebv_query_epoch").get(), 2.0);
+        assert_eq!(registry.counter("ebv_query_commits_total").get(), 2);
+    }
+
+    #[test]
+    fn pagerank_values_publish_as_normalized_ranks() {
+        let values = vec![
+            PageRankValue {
+                rank: 0.25,
+                partial: 0.0,
+            },
+            PageRankValue {
+                rank: 0.75,
+                partial: 0.0,
+            },
+        ];
+        match PageRankValue::pack(&values) {
+            SeriesData::F64(ranks) => assert_eq!(ranks, ebv_algorithms::ranks(&values)),
+            other => panic!("expected F64 ranks, got {other:?}"),
+        }
+    }
+}

@@ -29,10 +29,12 @@
 //! cargo run --release --example evolving_graph
 //! ```
 //!
+//! All knobs come from the consolidated [`EnvConfig`]:
 //! `EBV_MODE=sequential` runs every BSP execution on the calling thread;
 //! the default (`EBV_MODE=threaded` or unset) uses one thread per worker,
-//! exercising the parallel two-phase message exchange end-to-end. Both
-//! modes produce bit-identical values and counters.
+//! exercising the parallel two-phase message exchange end-to-end (and
+//! `pooled:<n>` / `spawn-per-step` select the other executors). Every mode
+//! produces bit-identical values and counters.
 //!
 //! The whole run is traced through the `ebv-obs` telemetry plane:
 //! `EBV_TRACE=out.json` writes a Chrome trace-event file (load it in
@@ -42,9 +44,14 @@
 //! families) in Prometheus text exposition format, and a compact snapshot
 //! summary is always printed at the end. `EBV_OBS_ADDR=host:port`
 //! additionally serves the run *live* over HTTP while the churn loop is
-//! executing: `GET /metrics`, `/healthz`, `/trace.json` and
-//! `/epochs.json` (one journal snapshot per applied epoch). Tracing and
-//! serving never perturb the values — every exactness check holds with or
+//! executing — the telemetry plane (`GET /metrics`, `/healthz`,
+//! `/trace.json`, `/epochs.json`) *and* the epoch-versioned query plane
+//! (`GET /query`, `/query/<series>/<vertex>`, `/topk`,
+//! `/neighbors/<vertex>`) on one listener: each applied epoch's CC
+//! labels, SSSP distances and BFS depths are published to a lock-free
+//! snapshot store and flipped atomically at the epoch boundary, so reads
+//! are never torn and never block the churn loop. Tracing and serving
+//! never perturb the values — every exactness check holds with or
 //! without them.
 
 use std::sync::Arc;
@@ -54,11 +61,15 @@ use ebv::algorithms::{
     ranks, BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
     IncrementalPageRank, IncrementalSssp, SingleSourceShortestPath,
 };
-use ebv::bsp::{BspEngine, BspOutcome, DistributedGraph};
+use ebv::bsp::{BspEngine, BspOutcome, DistributedGraph, EnvConfig, RunOptions};
 use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
 use ebv::graph::{GraphBuilder, VertexId};
-use ebv::obs::{MetricsRegistry, ObsServer, ObsServerConfig, Phase, Recorder, SpanCtx, Telemetry};
+use ebv::obs::{
+    telemetry_router, MetricsRegistry, ObsServer, ObsServerConfig, Phase, Recorder, SpanCtx,
+    Telemetry,
+};
 use ebv::partition::{EbvPartitioner, PartitionMetrics, RebalanceConfig, StreamConfig};
+use ebv::serve::{register_query_routes, SnapshotStore};
 use ebv::stream::{EdgeSource, RmatEdgeStream};
 
 const SCALE: u32 = 16; // 65 536 vertices
@@ -76,18 +87,16 @@ const PR_ITERATIONS: usize = 60;
 /// seeded from the previous epoch's ranks.
 const PR_WARM_ITERATIONS: usize = 15;
 
-/// The engine selected by the `EBV_MODE` environment switch (used by CI to
-/// drive the parallel exchange path end-to-end): `sequential` or the
-/// default `threaded`. Any other value is rejected loudly rather than
-/// silently falling back, so a misspelt mode cannot fake a measurement.
+/// The consolidated `EBV_*` environment configuration (used by CI to
+/// drive the parallel exchange path end-to-end). A malformed value is
+/// rejected loudly rather than silently falling back, so a misspelt mode
+/// cannot fake a measurement.
+fn env_config() -> EnvConfig {
+    EnvConfig::from_env().unwrap_or_else(|err| panic!("{err}"))
+}
+
 fn engine_from_env() -> BspEngine {
-    match std::env::var("EBV_MODE") {
-        Ok(mode) if mode == "sequential" => BspEngine::sequential(),
-        Ok(mode) if mode == "threaded" => BspEngine::threaded(),
-        Err(std::env::VarError::NotPresent) => BspEngine::threaded(),
-        Ok(mode) => panic!("EBV_MODE must be `sequential` or `threaded`, got {mode:?}"),
-        Err(err) => panic!("EBV_MODE is not valid UTF-8: {err}"),
-    }
+    env_config().engine()
 }
 
 fn cc(distributed: &DistributedGraph, telemetry: &Telemetry) -> BspOutcome<u64> {
@@ -145,25 +154,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     let telemetry: &Telemetry = &telemetry_arc;
 
-    // `EBV_OBS_ADDR=host:port` serves the four live routes while the churn
-    // loop runs. A bad address is rejected loudly, like a bad `EBV_MODE`.
-    let obs_server = match std::env::var("EBV_OBS_ADDR") {
-        Ok(addr) => {
-            let server = ObsServer::bind(
-                addr.as_str(),
-                Arc::clone(&telemetry_arc),
-                ObsServerConfig::default(),
-            )
+    // The epoch-versioned query plane: every applied epoch below publishes
+    // its CC labels, SSSP distances and BFS depths into this store, and
+    // the pipeline's epoch commit flips them into readers' view atomically.
+    // Read metrics (`ebv_query_*`) land in the same global registry as
+    // everything else.
+    let store = SnapshotStore::new();
+    store.serve_adjacency(true);
+    let query = store.handle();
+
+    // `EBV_OBS_ADDR=host:port` serves the run live while the churn loop
+    // runs: the four telemetry routes and the query plane on one listener.
+    // A bad address is rejected loudly, like a bad `EBV_MODE`.
+    let obs_server = env_config().obs_addr.map(|addr| {
+        let obs_config = ObsServerConfig::default();
+        let mut router = telemetry_router(Arc::clone(&telemetry_arc), &obs_config);
+        register_query_routes(&mut router, query.clone());
+        let server = ObsServer::bind_with_router(addr.as_str(), router, obs_config)
             .unwrap_or_else(|err| panic!("EBV_OBS_ADDR {addr:?} did not bind: {err}"));
-            println!(
-                "live observability on http://{}/ — /metrics /healthz /trace.json /epochs.json\n",
-                server.local_addr(),
-            );
-            Some(server)
-        }
-        Err(std::env::VarError::NotPresent) => None,
-        Err(err) => panic!("EBV_OBS_ADDR is not valid UTF-8: {err}"),
-    };
+        println!(
+            "live observability on http://{}/ — /metrics /healthz /trace.json /epochs.json \
+             /query /topk /neighbors\n",
+            server.local_addr(),
+        );
+        server
+    });
 
     // ── Phase 1: churned ingestion through `run_applied` — one
     //    *incremental* apply_mutations epoch per batch; CC labels, SSSP
@@ -198,10 +213,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt  apply-ms  sssp-cone"
     );
-    let report = EventPipeline::new(BATCH).run_applied_with(
+    let report = EventPipeline::new(BATCH).run_applied_publishing(
         churn,
         &mut partitioner,
         &mut distributed,
+        &store,
         |dg, batch, metrics, stats| {
             // Incremental assembly already happened: `dg` is the
             // post-mutation distribution, only touched workers rebuilt.
@@ -218,10 +234,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let warm_started = Instant::now();
             let span = telemetry.start();
+            // Each warm run *stages* its values into the snapshot store
+            // (`publish_to`); the pipeline commits them together once this
+            // closure returns, so live readers flip from epoch N−1's
+            // complete answers to epoch N's in one atomic step.
             let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
             telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
             labels = engine
-                .run_warm_with(dg, &cc_program, &labels, telemetry)?
+                .run_opts(
+                    dg,
+                    &cc_program,
+                    RunOptions::new()
+                        .recorder(telemetry)
+                        .warm_seed(&labels)
+                        .publish_to(&store.series_sink::<u64>("cc")),
+                )?
                 .values;
             warm_cc_time += warm_started.elapsed();
             let warm_started = Instant::now();
@@ -229,7 +256,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
             telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
             distances = engine
-                .run_warm_with(dg, &sssp_program, &distances, telemetry)?
+                .run_opts(
+                    dg,
+                    &sssp_program,
+                    RunOptions::new()
+                        .recorder(telemetry)
+                        .warm_seed(&distances)
+                        .publish_to(
+                            &store
+                                .series_sink::<u64>("sssp")
+                                .with_absent(ebv::algorithms::UNREACHABLE),
+                        ),
+                )?
                 .values;
             warm_sssp_time += warm_started.elapsed();
             let warm_started = Instant::now();
@@ -237,7 +275,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let bfs_program = IncrementalBfs::from_distributed(source, dg, &depths, batch);
             telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
             depths = engine
-                .run_warm_with(dg, &bfs_program, &depths, telemetry)?
+                .run_opts(
+                    dg,
+                    &bfs_program,
+                    RunOptions::new()
+                        .recorder(telemetry)
+                        .warm_seed(&depths)
+                        .publish_to(
+                            &store
+                                .series_sink::<u64>("bfs")
+                                .with_absent(ebv::algorithms::UNREACHABLE),
+                        ),
+                )?
                 .values;
             warm_bfs_time += warm_started.elapsed();
             println!(
@@ -267,6 +316,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         events as f64 / elapsed.as_secs_f64(),
     );
     assert_eq!(distributed.num_edges(), partitioner.live_edges());
+
+    // The query plane serves the final epoch: the committed snapshot is
+    // tagged with the last applied epoch and its values are bit-identical
+    // to the warm-carried outcomes above.
+    let served = query.snapshot()?;
+    assert_eq!(served.epoch, distributed.epoch() as u64);
+    match &served.series("cc").expect("cc is published").data {
+        ebv::serve::SeriesData::U64 { values, .. } => {
+            assert_eq!(values, &labels, "served CC labels are the epoch's labels");
+        }
+        other => panic!("cc must serve as a u64 series, got {other:?}"),
+    }
+    let hottest = query.topk("cc", 3, true)?;
+    println!(
+        "query plane @ epoch {}: {} series published, top-3 cc labels {:?}",
+        served.epoch,
+        served.series_names().len(),
+        hottest
+            .iter()
+            .map(|(vertex, value)| format!("v{vertex}={}", value.to_json()))
+            .collect::<Vec<_>>(),
+    );
 
     // Exactness check 1: maintained metrics recompute bit-identically.
     let maintained = assert_metrics_recompute_exactly(&partitioner)?;
@@ -519,20 +590,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         journal.len(),
         telemetry.straggler_ratio(),
     );
-    if let Ok(path) = std::env::var("EBV_TRACE") {
+    if let Some(path) = env_config().trace_out {
         let trace = telemetry.chrome_trace();
         std::fs::write(&path, &trace)?;
         println!(
-            "wrote Chrome trace ({} events) to {path} — load it in chrome://tracing or \
+            "wrote Chrome trace ({} events) to {} — load it in chrome://tracing or \
              https://ui.perfetto.dev",
             trace.matches("\"ph\":\"X\"").count(),
+            path.display(),
         );
     }
-    if let Ok(path) = std::env::var("EBV_METRICS") {
+    if let Some(path) = env_config().metrics_out {
         // The live exposition: the registry snapshot plus the labeled
         // per-worker attribution families — exactly what `/metrics` serves.
         std::fs::write(&path, telemetry.prometheus())?;
-        println!("wrote Prometheus metrics to {path}");
+        println!("wrote Prometheus metrics to {}", path.display());
     }
     if let Some(server) = obs_server {
         println!(

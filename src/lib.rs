@@ -16,6 +16,9 @@
 //!   tracer and Chrome-trace export (`ebv-obs`)
 //! * [`algorithms`] — CC, SSSP, PageRank, BFS and their sequential
 //!   references (`ebv-algorithms`)
+//! * [`serve`] — the epoch-versioned query plane: lock-free snapshot
+//!   store, in-process [`QueryHandle`](ebv_serve::QueryHandle) and the
+//!   `GET /query/*` routes (`ebv-serve`)
 //!
 //! See the workspace README for the quickstart and the experiment index.
 
@@ -28,4 +31,5 @@ pub use ebv_dynamic as dynamic;
 pub use ebv_graph as graph;
 pub use ebv_obs as obs;
 pub use ebv_partition as partition;
+pub use ebv_serve as serve;
 pub use ebv_stream as stream;
