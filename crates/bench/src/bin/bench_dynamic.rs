@@ -29,6 +29,7 @@ use ebv_algorithms::{
     IncrementalSssp, SingleSourceShortestPath,
 };
 use ebv_bench::TextTable;
+use ebv_bsp::DurabilityHook;
 use ebv_bsp::{BspEngine, CostModel, DistributedGraph, MutationBatch, RunOptions};
 use ebv_dynamic::{ChurnStream, EventPipeline};
 use ebv_graph::{GraphBuilder, VertexId};
@@ -37,6 +38,7 @@ use ebv_partition::{
     EbvPartitioner, Partitioner, RandomVertexCutPartitioner, RebalanceConfig, StreamingPartitioner,
 };
 use ebv_serve::{Series, SeriesValue, SnapshotStore};
+use ebv_state::DurableState;
 use ebv_stream::{EdgeSource, RmatEdgeStream};
 
 struct Measurement {
@@ -272,6 +274,126 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             full_seconds / incremental_seconds,
             touched_total as f64 / batches.len().max(1) as f64,
         );
+
+        // Durable epochs: the same batch sequence re-applied with the
+        // write-ahead log in the apply path (log-before-apply, exactly
+        // what `run_applied_durable` does). Cadenced checkpoints are
+        // pushed past the end of the loop so the gated
+        // epoch_apply_durable/epoch_apply_incremental ratio isolates the
+        // per-epoch WAL-append overhead; checkpoint cost is its own row.
+        let durable_dir =
+            std::env::temp_dir().join(format!("ebv-bench-state-{}-{scale}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&durable_dir);
+        let (durable, fresh) = DurableState::open(&durable_dir, batches.len() + 1)?;
+        assert!(
+            fresh.is_empty(),
+            "the bench state directory must start empty"
+        );
+        let mut durable_graph = DistributedGraph::build_streaming(workers, universe, Vec::new())?;
+        let mut durable_seconds = 0.0f64;
+        let mut events_seen = 0u64;
+        for batch in &batches {
+            events_seen += (batch.added().len() + batch.removed().len()) as u64;
+            let started = Instant::now();
+            if !batch.is_empty() {
+                durable.log_batch(durable_graph.epoch() as u64 + 1, events_seen, batch)?;
+            }
+            durable_graph.apply_mutations(batch)?;
+            durable_seconds += started.elapsed().as_secs_f64();
+        }
+        assert_eq!(durable_graph.num_edges(), incremental.num_edges());
+        rows.push(Measurement {
+            name: "epoch_apply_durable",
+            items: "epochs",
+            count: batches.len(),
+            seconds: durable_seconds,
+            state_bytes: 0,
+        });
+        println!(
+            "durable epochs (WAL log-before-apply): {durable_seconds:.4}s vs undurable \
+             {incremental_seconds:.4}s ({:.3}x)",
+            durable_seconds / incremental_seconds,
+        );
+
+        // Recovery latency, replay vs rebuild: reopening the directory
+        // replays the WAL suffix into a fresh distribution, against the
+        // no-durability alternative of re-running the entire churned
+        // pipeline (stream regeneration, partition maintenance, epoch
+        // applies) from nothing.
+        drop(durable);
+        let started = Instant::now();
+        let (durable, recovered) = DurableState::open(&durable_dir, batches.len() + 1)?;
+        let mut replayed = match recovered.checkpoint.as_ref() {
+            Some(checkpoint) => checkpoint.rebuild_graph()?,
+            None => DistributedGraph::build_streaming(workers, universe, Vec::new())?,
+        };
+        for frame in &recovered.frames {
+            replayed.apply_mutations(&frame.batch)?;
+        }
+        let recovery_replay_seconds = started.elapsed().as_secs_f64();
+        assert!(
+            replayed.same_structure(&durable_graph),
+            "WAL replay must reproduce the logged distribution"
+        );
+        rows.push(Measurement {
+            name: "recovery_replay",
+            items: "edges",
+            count: replayed.num_edges(),
+            seconds: recovery_replay_seconds,
+            state_bytes: 0,
+        });
+
+        let started = Instant::now();
+        {
+            let source = stream();
+            let mut cold_partitioner =
+                EbvPartitioner::new().dynamic(source.stream_config(workers))?;
+            let churn = ChurnStream::new(source, churn_ratio)?.with_seed(7);
+            let mut rebuilt = DistributedGraph::build_streaming(workers, universe, Vec::new())?;
+            EventPipeline::new(epoch_batch).run(churn, &mut cold_partitioner, |batch, _| {
+                rebuilt.apply_mutations(batch)?;
+                Ok(())
+            })?;
+            assert_eq!(rebuilt.num_edges(), replayed.num_edges());
+        }
+        let recovery_rebuild_seconds = started.elapsed().as_secs_f64();
+        rows.push(Measurement {
+            name: "recovery_rebuild",
+            items: "edges",
+            count: replayed.num_edges(),
+            seconds: recovery_rebuild_seconds,
+            state_bytes: 0,
+        });
+        println!(
+            "recovery: WAL replay {recovery_replay_seconds:.4}s vs from-scratch rebuild \
+             {recovery_rebuild_seconds:.4}s ({:.1}x)",
+            recovery_rebuild_seconds / recovery_replay_seconds,
+        );
+
+        // Checkpoint write throughput: one full atomic snapshot of the
+        // replayed world (graph + partitioner inputs), state_bytes = the
+        // on-disk checkpoint size.
+        assert_eq!(durable_graph.num_edges(), partitioner.live_edges());
+        let started = Instant::now();
+        assert!(durable.checkpoint_now(&replayed, &partitioner, events_seen)?);
+        let checkpoint_seconds = started.elapsed().as_secs_f64();
+        let checkpoint_bytes =
+            std::fs::metadata(durable_dir.join(format!("checkpoint-{}.ckpt", replayed.epoch())))?
+                .len() as usize;
+        rows.push(Measurement {
+            name: "checkpoint_write",
+            items: "edges",
+            count: replayed.num_edges(),
+            seconds: checkpoint_seconds,
+            state_bytes: checkpoint_bytes,
+        });
+        println!(
+            "checkpoint write: {checkpoint_bytes} bytes in {checkpoint_seconds:.4}s \
+             ({:.3e} edges/s)",
+            replayed.num_edges() as f64 / checkpoint_seconds,
+        );
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&durable_dir);
 
         // Localized epochs (the hot-shard pattern): batches confined to one
         // worker, where incremental assembly rebuilds 1 of p workers while

@@ -322,6 +322,7 @@ mod tests {
             ("cc_warm_epoch_served", "cc_warm_epoch", 1.05, Some(2)),
             ("sssp_warm_epoch", "sssp_cold", 1.0, None),
             ("bfs_warm_epoch", "bfs_cold", 1.0, None),
+            ("epoch_apply_durable", "epoch_apply_incremental", 1.25, None),
         ] {
             let gate = caps
                 .iter()

@@ -27,6 +27,15 @@ pub const ENV_OBS_ADDR: &str = "EBV_OBS_ADDR";
 pub const ENV_TRACE: &str = "EBV_TRACE";
 /// The environment variable naming the Prometheus-text output file.
 pub const ENV_METRICS: &str = "EBV_METRICS";
+/// The environment variable naming the durable-state directory (WAL +
+/// checkpoints). Unset means durability is off.
+pub const ENV_STATE_DIR: &str = "EBV_STATE_DIR";
+/// The environment variable setting the checkpoint cadence in applied
+/// epochs (default 8 when durability is on).
+pub const ENV_CHECKPOINT_EVERY: &str = "EBV_CHECKPOINT_EVERY";
+
+/// Default checkpoint cadence when `EBV_CHECKPOINT_EVERY` is unset.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 8;
 
 /// A malformed `EBV_*` environment value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +48,11 @@ pub enum ConfigError {
     /// `EBV_POOL_SIZE` (or a `pooled:<n>` mode suffix) is not a positive
     /// integer.
     InvalidPoolSize {
+        /// The rejected value.
+        value: String,
+    },
+    /// `EBV_CHECKPOINT_EVERY` is not a positive integer.
+    InvalidCheckpointEvery {
         /// The rejected value.
         value: String,
     },
@@ -61,6 +75,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "{ENV_POOL_SIZE} must be a positive integer, got {value:?}"
+                )
+            }
+            ConfigError::InvalidCheckpointEvery { value } => {
+                write!(
+                    f,
+                    "{ENV_CHECKPOINT_EVERY} must be a positive integer, got {value:?}"
                 )
             }
             ConfigError::NotUnicode { name } => write!(f, "{name} is not valid UTF-8"),
@@ -101,6 +121,12 @@ pub struct EnvConfig {
     pub trace_out: Option<PathBuf>,
     /// Prometheus-text output path from `EBV_METRICS`.
     pub metrics_out: Option<PathBuf>,
+    /// Durable-state directory from `EBV_STATE_DIR`; `None` disables the
+    /// WAL/checkpoint plane entirely.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint cadence in applied epochs from `EBV_CHECKPOINT_EVERY`
+    /// (used only when `state_dir` is set; default 8).
+    pub checkpoint_every: usize,
 }
 
 impl Default for EnvConfig {
@@ -111,12 +137,14 @@ impl Default for EnvConfig {
             obs_addr: None,
             trace_out: None,
             metrics_out: None,
+            state_dir: None,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
     }
 }
 
 impl EnvConfig {
-    /// Reads the five `EBV_*` variables from the process environment.
+    /// Reads the `EBV_*` variables from the process environment.
     ///
     /// # Errors
     ///
@@ -130,13 +158,15 @@ impl EnvConfig {
             Err(std::env::VarError::NotUnicode(_)) => Some("\u{fffd}".to_string()),
         })
         .map_err(|err| match err {
-            ConfigError::InvalidMode { ref value } | ConfigError::InvalidPoolSize { ref value }
+            ConfigError::InvalidMode { ref value }
+            | ConfigError::InvalidPoolSize { ref value }
+            | ConfigError::InvalidCheckpointEvery { ref value }
                 if value == "\u{fffd}" =>
             {
-                let name = if matches!(err, ConfigError::InvalidMode { .. }) {
-                    ENV_MODE
-                } else {
-                    ENV_POOL_SIZE
+                let name = match err {
+                    ConfigError::InvalidMode { .. } => ENV_MODE,
+                    ConfigError::InvalidCheckpointEvery { .. } => ENV_CHECKPOINT_EVERY,
+                    _ => ENV_POOL_SIZE,
                 };
                 ConfigError::NotUnicode { name }
             }
@@ -161,6 +191,10 @@ impl EnvConfig {
         config.obs_addr = lookup(ENV_OBS_ADDR);
         config.trace_out = lookup(ENV_TRACE).map(PathBuf::from);
         config.metrics_out = lookup(ENV_METRICS).map(PathBuf::from);
+        config.state_dir = lookup(ENV_STATE_DIR).map(PathBuf::from);
+        if let Some(value) = lookup(ENV_CHECKPOINT_EVERY) {
+            config.checkpoint_every = parse_checkpoint_every(&value)?;
+        }
         Ok(config)
     }
 
@@ -209,6 +243,24 @@ pub fn parse_pool_size(value: &str) -> Result<usize, ConfigError> {
         .ok()
         .filter(|&n| n > 0)
         .ok_or_else(|| ConfigError::InvalidPoolSize {
+            value: value.to_string(),
+        })
+}
+
+/// Parses an `EBV_CHECKPOINT_EVERY` value: a positive integer number of
+/// applied epochs between checkpoints.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidCheckpointEvery`] for zero, negative,
+/// non-numeric or empty input.
+pub fn parse_checkpoint_every(value: &str) -> Result<usize, ConfigError> {
+    value
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| ConfigError::InvalidCheckpointEvery {
             value: value.to_string(),
         })
 }
@@ -302,6 +354,37 @@ mod tests {
         assert_eq!(config.trace_out, Some(PathBuf::from("trace.json")));
         assert_eq!(config.metrics_out, Some(PathBuf::from("metrics.prom")));
         assert_eq!(config.engine().mode(), ExecutionMode::Pooled(2));
+    }
+
+    #[test]
+    fn durability_knobs_parse_and_default_off() {
+        let config = EnvConfig::from_lookup(|_| None).unwrap();
+        assert_eq!(config.state_dir, None, "durability is opt-in");
+        assert_eq!(config.checkpoint_every, DEFAULT_CHECKPOINT_EVERY);
+
+        let config = EnvConfig::from_lookup(lookup_of(&[
+            (ENV_STATE_DIR, "/tmp/ebv-state"),
+            (ENV_CHECKPOINT_EVERY, "4"),
+        ]))
+        .unwrap();
+        assert_eq!(config.state_dir, Some(PathBuf::from("/tmp/ebv-state")));
+        assert_eq!(config.checkpoint_every, 4);
+    }
+
+    #[test]
+    fn malformed_checkpoint_cadence_is_a_typed_error() {
+        for bad in ["0", "-3", "often", "", "2.5"] {
+            let err =
+                EnvConfig::from_lookup(lookup_of(&[(ENV_CHECKPOINT_EVERY, bad)])).unwrap_err();
+            assert_eq!(
+                err,
+                ConfigError::InvalidCheckpointEvery {
+                    value: bad.to_string()
+                },
+                "{bad:?}"
+            );
+            assert!(err.to_string().contains("EBV_CHECKPOINT_EVERY"));
+        }
     }
 
     #[test]

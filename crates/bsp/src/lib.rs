@@ -45,7 +45,7 @@ pub use engine::{
 };
 pub use error::{BspError, Result};
 pub use program::{MessageTarget, SubgraphContext, SubgraphProgram};
-pub use publish::{EpochCommitter, ValueSink};
+pub use publish::{DurabilityHook, EpochCommitter, ValueSink};
 pub use stats::{
     Breakdown, CostModel, ExecutionStats, SuperstepStats, TimelineSpan, WorkerSuperstepStats,
 };

@@ -54,6 +54,64 @@ pub trait EpochCommitter {
     fn commit_epoch(&self, distributed: &crate::subgraph::DistributedGraph);
 }
 
+/// The durability seam of the dynamic pipeline: a write-ahead log plus
+/// periodic checkpoints, so a crash can be recovered to the exact epoch
+/// lineage a never-crashed run would have produced.
+///
+/// The pipeline drives it with a strict ordering per applied epoch:
+///
+/// 1. [`log_batch`](Self::log_batch) **before** `apply_mutations` — the
+///    WAL frame for epoch `e` is on disk before any in-memory state
+///    reflects it (log-before-apply). A crash between the two leaves a
+///    logged-but-unapplied frame, which recovery replays; that is
+///    indistinguishable from having applied it and then crashed.
+/// 2. [`epoch_durable`](Self::epoch_durable) **after** the epoch's
+///    programs ran and the [`EpochCommitter`] flipped the snapshot — the
+///    implementation decides whether this epoch is a checkpoint boundary
+///    (fold the WAL suffix into a full snapshot of the distribution) or a
+///    no-op.
+///
+/// Like the other publication seams, the trait lives here so the
+/// dependency direction stays clean: the pipeline (`ebv-dynamic`) knows
+/// only this interface and the durable store (`ebv-state`) plugs in on
+/// top. Errors are surfaced as `std::io::Error` — durability failures are
+/// environment failures, and the pipeline aborts the epoch rather than
+/// continue un-logged.
+pub trait DurabilityHook {
+    /// Persists the mutation batch that is *about to become* epoch
+    /// `epoch`, called strictly before the batch is applied.
+    /// `events_seen` is the cumulative count of raw stream events
+    /// (inserts plus deletes, before in-batch cancellation) consumed
+    /// through the end of this batch — recovery uses it to fast-forward a
+    /// deterministic event source past the replayed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; the pipeline treats it as fatal for the run.
+    fn log_batch(
+        &self,
+        epoch: u64,
+        events_seen: u64,
+        batch: &crate::subgraph::MutationBatch,
+    ) -> std::io::Result<()>;
+
+    /// Marks epoch `distributed.epoch()` fully applied, computed and
+    /// committed. Implementations checkpoint here every N epochs: the
+    /// passed graph and partitioner are exactly the state a restart must
+    /// reproduce, and `events_seen` is the stream position to store with
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; the pipeline treats it as fatal for the run.
+    fn epoch_durable(
+        &self,
+        distributed: &crate::subgraph::DistributedGraph,
+        partitioner: &ebv_partition::DynamicPartitioner,
+        events_seen: u64,
+    ) -> std::io::Result<()>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

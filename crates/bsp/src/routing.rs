@@ -222,6 +222,14 @@ impl RoutingTable {
         self.epoch
     }
 
+    /// Re-stamps the epoch without touching the routes. Used when a
+    /// freshly assembled distribution is adopted as the continuation of an
+    /// earlier lineage (checkpoint recovery): the routes are already the
+    /// from-scratch rebuild, only the version label must follow the graph.
+    pub(crate) fn set_epoch(&mut self, epoch: usize) {
+        self.epoch = epoch;
+    }
+
     /// The per-worker route tables, indexed by worker.
     pub(crate) fn worker_tables(&self) -> &[WorkerRoutes] {
         &self.workers

@@ -288,12 +288,35 @@ impl MutationBatch {
         self.record_insert(edge, to);
     }
 
+    /// Reconstructs a batch from already-cancelled parts, exactly as read
+    /// back by [`added`](Self::added) / [`removed`](Self::removed).
+    ///
+    /// This is the deserialization entry point: a serialized batch has
+    /// *already* had cancellation applied when it was recorded, so its
+    /// parts must be restored verbatim. Replaying them through
+    /// [`record_insert`](Self::record_insert) /
+    /// [`record_delete`](Self::record_delete) would be wrong — a batch
+    /// that legitimately deletes a pre-batch copy and re-inserts the same
+    /// `(edge, partition)` pair holds that pair in *both* lists, and
+    /// re-recording would cancel the pair out of existence.
+    pub fn from_parts(added: Vec<(Edge, PartitionId)>, removed: Vec<(Edge, PartitionId)>) -> Self {
+        MutationBatch { added, removed }
+    }
+
     /// The pending additions, in record order.
+    ///
+    /// Invariant (cancellation): a pair deleted after being added *in the
+    /// same batch* appears in neither slice — `record_delete` removes the
+    /// pending addition instead of recording a removal. Serializing these
+    /// two slices therefore captures the batch exactly; rebuild it with
+    /// [`from_parts`](Self::from_parts), never by replaying `record_*`.
     pub fn added(&self) -> &[(Edge, PartitionId)] {
         &self.added
     }
 
-    /// The pending removals, in record order.
+    /// The pending removals, in record order. Every entry references an
+    /// edge copy that existed before the batch (see
+    /// [`added`](Self::added) for the cancellation invariant).
     pub fn removed(&self) -> &[(Edge, PartitionId)] {
         &self.removed
     }
@@ -547,6 +570,41 @@ impl DistributedGraph {
     /// final value extraction run on.
     pub(crate) fn routing(&self) -> &RoutingTable {
         &self.routing
+    }
+
+    /// Whether two distributions are structurally identical: same
+    /// per-worker edge lists (content, ownership and order), same local
+    /// vertex tables and master flags, same replica table, and same
+    /// routing tables.
+    ///
+    /// This is the recovery-equivalence predicate: a distribution rebuilt
+    /// from a checkpoint plus a WAL replay must satisfy it against the
+    /// never-crashed original. The *epoch counter* is compared separately
+    /// by callers ([`epoch`](Self::epoch) is lineage, not structure), and
+    /// [`last_mutation`](Self::last_mutation) is excluded because its
+    /// `apply_seconds` field is wall-clock.
+    pub fn same_structure(&self, other: &Self) -> bool {
+        let subgraph_eq = |a: &Subgraph, b: &Subgraph| {
+            a.part == b.part
+                && a.edges == b.edges
+                && a.owns_edge == b.owns_edge
+                && a.vertices == b.vertices
+                && a.is_master == b.is_master
+        };
+        self.num_vertices == other.num_vertices
+            && self.num_edges == other.num_edges
+            && self.vertex_cut == other.vertex_cut
+            && self.subgraphs.len() == other.subgraphs.len()
+            && self
+                .subgraphs
+                .iter()
+                .zip(&other.subgraphs)
+                .all(|(a, b)| subgraph_eq(a, b))
+            && self.replicas.master == other.replicas.master
+            && self.replicas.replicas == other.replicas.replicas
+            && self.incident_count == other.incident_count
+            && self.isolated_per_part == other.isolated_per_part
+            && self.routing == other.routing
     }
 
     /// Absorbs one batch of edge mutations in place, incrementally:
@@ -989,6 +1047,7 @@ pub struct DistributedGraphBuilder {
     edges_per_part: Vec<Vec<Edge>>,
     max_vertex_exclusive: usize,
     num_edges: usize,
+    epoch: usize,
 }
 
 impl DistributedGraphBuilder {
@@ -1010,6 +1069,7 @@ impl DistributedGraphBuilder {
             edges_per_part: vec![Vec::new(); num_partitions],
             max_vertex_exclusive: 0,
             num_edges: 0,
+            epoch: 0,
         })
     }
 
@@ -1017,6 +1077,18 @@ impl DistributedGraphBuilder {
     /// mentioned by the stream are still placed as isolated masters.
     pub fn with_num_vertices(mut self, n: usize) -> Self {
         self.num_vertices_hint = Some(n);
+        self
+    }
+
+    /// Stamps the finished distribution with `epoch` instead of 0.
+    ///
+    /// The mutation epoch is the one field of a [`DistributedGraph`] that
+    /// is *not* derivable from the edge assignment — it counts applied
+    /// batches. Checkpoint recovery rebuilds the graph through this
+    /// builder and must resume the lineage at the checkpointed epoch, not
+    /// restart it at zero.
+    pub fn with_epoch(mut self, epoch: usize) -> Self {
+        self.epoch = epoch;
         self
     }
 
@@ -1075,14 +1147,17 @@ impl DistributedGraphBuilder {
             .iter()
             .map(|edges| vec![true; edges.len()])
             .collect();
-        Ok(assemble(
+        let mut distributed = assemble(
             self.num_partitions,
             n,
             self.num_edges,
             self.edges_per_part,
             owned_per_part,
             MasterRule::IncidentMajority,
-        ))
+        );
+        distributed.epoch = self.epoch;
+        distributed.routing.set_epoch(self.epoch);
+        Ok(distributed)
     }
 }
 

@@ -531,6 +531,86 @@ impl DynamicPartitioner {
         }
     }
 
+    /// Restores a freshly constructed partitioner from a checkpoint: the
+    /// surviving `(edge, partition)` pairs in insertion order (exactly
+    /// what [`surviving`](Self::surviving) yielded when the checkpoint was
+    /// taken) and the vertex universe the original had observed.
+    ///
+    /// Every placement-relevant piece of state — incidence refcounts, the
+    /// copy stacks' LIFO order, partition loads, HDRF degrees — is a pure
+    /// function of the surviving pairs, so replaying them with their
+    /// *recorded* partitions (never re-scored) reproduces a partitioner
+    /// whose future placements are bit-identical to the original's. The
+    /// one exception is the universe: deleted edges may have observed
+    /// larger vertices than any survivor, and the universe feeds the EBV
+    /// balance denominators, so it is restored from the stored
+    /// `universe` (the original's [`num_vertices`](Self::num_vertices))
+    /// rather than re-derived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidParameter`] when `self` already
+    /// holds state, and [`PartitionError::InconsistentAssignment`] when a
+    /// pair names an out-of-range partition or a vertex outside
+    /// `universe`.
+    pub fn restore(
+        &mut self,
+        universe: usize,
+        pairs: impl IntoIterator<Item = (Edge, PartitionId)>,
+    ) -> Result<()> {
+        if !self.log.is_empty() || self.live_edges != 0 {
+            return Err(PartitionError::InvalidParameter {
+                parameter: "restore",
+                message: "restore requires a freshly constructed partitioner".to_string(),
+            });
+        }
+        for (edge, part) in pairs {
+            if part.index() >= self.num_partitions {
+                return Err(PartitionError::InconsistentAssignment {
+                    message: format!(
+                        "checkpoint assigns edge {edge} to partition {part} but only {} \
+                         partitions exist",
+                        self.num_partitions
+                    ),
+                });
+            }
+            let needed = edge.src.index().max(edge.dst.index()) + 1;
+            if needed > universe {
+                return Err(PartitionError::InconsistentAssignment {
+                    message: format!(
+                        "checkpoint universe is {universe} vertices but edge {edge} \
+                         references vertex {}",
+                        needed - 1
+                    ),
+                });
+            }
+            // The insert path minus scoring: push the recorded placement
+            // and maintain exactly the refcounts `insert` would.
+            let position = self.log.len();
+            self.log.push(LogEntry {
+                edge,
+                part,
+                live: true,
+            });
+            self.copies.entry(edge).or_default().push(position);
+            self.ecount[part.index()] += 1;
+            self.live_edges += 1;
+            self.add_incidence(edge.src, part);
+            if edge.dst != edge.src {
+                self.add_incidence(edge.dst, part);
+            }
+            if let Policy::Hdrf { degree, .. } = &mut self.policy {
+                // `place` bumps both endpoints per insertion (a self-loop
+                // counts twice), and `delete` undoes it symmetrically, so
+                // live-copy replay lands on the original live degrees.
+                *degree.entry(edge.src).or_insert(0) += 1;
+                *degree.entry(edge.dst).or_insert(0) += 1;
+            }
+        }
+        self.max_vertex_exclusive = universe;
+        Ok(())
+    }
+
     /// The surviving `(edge, partition)` pairs in insertion order — the
     /// edge multiset a from-scratch rebuild would consume.
     pub fn surviving(&self) -> impl Iterator<Item = (Edge, PartitionId)> + '_ {
@@ -886,6 +966,116 @@ mod tests {
             assert_eq!(fresh.insert(e), expected, "edge {e}");
         }
         assert_eq!(fresh.snapshot().unwrap(), dynamic.snapshot().unwrap());
+    }
+
+    /// Churns a partitioner and returns the edges that are still live (in
+    /// an arbitrary but deterministic order usable for further deletes).
+    fn churn(dynamic: &mut DynamicPartitioner, graph_seed: u64) -> Vec<Edge> {
+        let g = RmatGenerator::new(7, 8)
+            .with_seed(graph_seed)
+            .generate()
+            .unwrap();
+        let mut live: Vec<Edge> = Vec::new();
+        for (i, &e) in g.edges().iter().enumerate() {
+            dynamic.insert(e);
+            live.push(e);
+            if i % 4 == 3 {
+                let victim = live.swap_remove((i * 13) % live.len());
+                dynamic.delete(victim).unwrap();
+            }
+        }
+        live
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn restored_partitioner_continues_bit_identically() {
+        let cases: [(fn() -> DynamicPartitioner, &str); 3] = [
+            (
+                || {
+                    EbvPartitioner::new()
+                        .dynamic(StreamConfig::new(4).with_expected_edges(200))
+                        .unwrap()
+                },
+                "ebv",
+            ),
+            (
+                || {
+                    HdrfPartitioner::new()
+                        .dynamic(StreamConfig::new(4))
+                        .unwrap()
+                },
+                "hdrf",
+            ),
+            (
+                || {
+                    RandomVertexCutPartitioner::new()
+                        .dynamic(StreamConfig::new(4))
+                        .unwrap()
+                },
+                "random",
+            ),
+        ];
+        for (make, name) in cases {
+            let mut original = make();
+            let mut live = churn(&mut original, 17);
+
+            let survivors: Vec<(Edge, PartitionId)> = original.surviving().collect();
+            let mut restored = make();
+            restored
+                .restore(original.num_vertices(), survivors.iter().copied())
+                .unwrap();
+            assert_eq!(restored.live_edges(), original.live_edges(), "{name}");
+            assert_eq!(restored.num_vertices(), original.num_vertices(), "{name}");
+            assert_eq!(
+                restored.snapshot().unwrap(),
+                original.snapshot().unwrap(),
+                "{name}"
+            );
+
+            // Future churn must place and delete bit-identically.
+            let extra = RmatGenerator::new(6, 8).with_seed(23).generate().unwrap();
+            for (i, &e) in extra.edges().iter().enumerate() {
+                assert_eq!(original.insert(e), restored.insert(e), "{name} edge {e}");
+                live.push(e);
+                if i % 3 == 1 {
+                    let victim = live.swap_remove((i * 11) % live.len());
+                    assert_eq!(
+                        original.delete(victim).unwrap(),
+                        restored.delete(victim).unwrap(),
+                        "{name} delete {victim}"
+                    );
+                }
+            }
+            assert_eq!(
+                original.snapshot().unwrap(),
+                restored.snapshot().unwrap(),
+                "{name} final"
+            );
+            assert_bit_identical(original.metrics(), restored.metrics());
+            assert_bit_identical(restored.metrics(), reference_metrics(&restored));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_non_fresh_state_and_bad_pairs() {
+        let mut used = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        used.insert(edge(0, 1));
+        assert!(matches!(
+            used.restore(4, [(edge(1, 2), PartitionId::new(0))]),
+            Err(PartitionError::InvalidParameter { .. })
+        ));
+
+        let mut fresh = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        assert!(matches!(
+            fresh.restore(4, [(edge(0, 1), PartitionId::new(7))]),
+            Err(PartitionError::InconsistentAssignment { .. })
+        ));
+        let mut fresh = EbvPartitioner::new().dynamic(StreamConfig::new(2)).unwrap();
+        assert!(matches!(
+            fresh.restore(2, [(edge(0, 5), PartitionId::new(0))]),
+            Err(PartitionError::InconsistentAssignment { .. })
+        ));
     }
 
     #[test]

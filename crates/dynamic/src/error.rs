@@ -25,6 +25,10 @@ pub enum DynamicError {
     Partition(PartitionError),
     /// An error bubbled up from the distribution layer.
     Bsp(BspError),
+    /// The durable state plane failed to persist a batch or checkpoint.
+    /// Durability failures are fatal by design: continuing would let the
+    /// in-memory lineage silently outrun what a restart can recover.
+    Durability(std::io::Error),
 }
 
 impl fmt::Display for DynamicError {
@@ -36,6 +40,7 @@ impl fmt::Display for DynamicError {
             DynamicError::Stream(err) => write!(f, "stream error: {err}"),
             DynamicError::Partition(err) => write!(f, "partition error: {err}"),
             DynamicError::Bsp(err) => write!(f, "bsp error: {err}"),
+            DynamicError::Durability(err) => write!(f, "durability error: {err}"),
         }
     }
 }
@@ -46,6 +51,7 @@ impl StdError for DynamicError {
             DynamicError::Stream(err) => Some(err),
             DynamicError::Partition(err) => Some(err),
             DynamicError::Bsp(err) => Some(err),
+            DynamicError::Durability(err) => Some(err),
             DynamicError::InvalidParameter { .. } => None,
         }
     }

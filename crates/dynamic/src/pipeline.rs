@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use ebv_bsp::{DistributedGraph, EpochCommitter, MutationBatch, MutationStats};
+use ebv_bsp::{DistributedGraph, DurabilityHook, EpochCommitter, MutationBatch, MutationStats};
 use ebv_graph::Edge;
 use ebv_obs::{EpochMark, NoopRecorder, Phase, Recorder, SpanCtx};
 use ebv_partition::{DynamicPartitioner, MigrationPlan, PartitionId, PartitionMetrics};
@@ -72,13 +72,33 @@ impl EventPipeline {
     /// the partitioner.
     pub fn run<S, F>(
         &self,
-        mut source: S,
+        source: S,
         partitioner: &mut DynamicPartitioner,
         mut on_batch: F,
     ) -> Result<EventReport>
     where
         S: EventSource,
         F: FnMut(&MutationBatch, PartitionMetrics) -> Result<()>,
+    {
+        self.run_inner(source, partitioner, |batch, metrics, _, _, _| {
+            on_batch(batch, metrics)
+        })
+    }
+
+    /// The raw batching loop behind [`run`](Self::run). The callback
+    /// additionally receives the batch's *raw* insert/delete counts (which
+    /// exceed the recorded mutations whenever events cancelled in-batch)
+    /// and a shared view of the partitioner — the durable path needs both
+    /// to stamp WAL frames and capture checkpoints.
+    fn run_inner<S, F>(
+        &self,
+        mut source: S,
+        partitioner: &mut DynamicPartitioner,
+        mut on_batch: F,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&MutationBatch, PartitionMetrics, usize, usize, &DynamicPartitioner) -> Result<()>,
     {
         if self.batch_size == 0 {
             return Err(DynamicError::InvalidParameter {
@@ -110,7 +130,7 @@ impl EventPipeline {
             }
             if batch_inserts + batch_deletes == self.batch_size {
                 let metrics = partitioner.metrics();
-                on_batch(&batch, metrics)?;
+                on_batch(&batch, metrics, batch_inserts, batch_deletes, partitioner)?;
                 report.push(batch_inserts, batch_deletes, metrics);
                 batch = MutationBatch::new();
                 batch_inserts = 0;
@@ -119,7 +139,7 @@ impl EventPipeline {
         }
         if batch_inserts + batch_deletes > 0 {
             let metrics = partitioner.metrics();
-            on_batch(&batch, metrics)?;
+            on_batch(&batch, metrics, batch_inserts, batch_deletes, partitioner)?;
             report.push(batch_inserts, batch_deletes, metrics);
         }
         Ok(report)
@@ -196,7 +216,15 @@ impl EventPipeline {
         F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
         R: Recorder,
     {
-        self.run_applied_inner(source, partitioner, distributed, None, on_epoch, recorder)
+        self.run_applied_inner(
+            source,
+            partitioner,
+            distributed,
+            None,
+            None,
+            on_epoch,
+            recorder,
+        )
     }
 
     /// [`run_applied_with`](Self::run_applied_with) feeding the query
@@ -236,19 +264,76 @@ impl EventPipeline {
             partitioner,
             distributed,
             Some(committer),
+            None,
             on_epoch,
             recorder,
         )
     }
 
-    /// Shared implementation of the applied-epoch loop: apply, record,
-    /// hand to `on_epoch`, then (when publishing) commit the epoch.
+    /// [`run_applied_publishing`](Self::run_applied_publishing) with a
+    /// durable lineage: every non-empty batch is logged through
+    /// [`DurabilityHook::log_batch`] **before** it is applied
+    /// (write-ahead), and after the epoch's programs have run and the
+    /// committer has flipped it into readers' view,
+    /// [`DurabilityHook::epoch_durable`] observes the post-commit state —
+    /// the hook's cue to take a cadenced checkpoint.
+    ///
+    /// `events_already_seen` seeds the cumulative raw-event counter
+    /// stamped into WAL frames; a recovered process passes
+    /// `RecoveredState::events_seen()` after fast-forwarding its event
+    /// source by the same amount, so frame stamps stay exact across
+    /// restarts. Fresh runs pass 0.
+    ///
+    /// Empty (fully-cancelled) batches are *not* logged — they do not
+    /// advance the epoch, and a frame without an epoch would fork the WAL
+    /// lineage. Their raw events still advance the counter, so the next
+    /// frame's stamp accounts for them.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_applied_publishing`](Self::run_applied_publishing)
+    /// returns, plus [`DynamicError::Durability`] when the hook fails —
+    /// the batch that failed to log is **not** applied, so the durable
+    /// lineage never lags the in-memory state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_applied_durable<S, F, R>(
+        &self,
+        source: S,
+        partitioner: &mut DynamicPartitioner,
+        distributed: &mut DistributedGraph,
+        committer: &dyn EpochCommitter,
+        durability: &dyn DurabilityHook,
+        events_already_seen: u64,
+        on_epoch: F,
+        recorder: &R,
+    ) -> Result<EventReport>
+    where
+        S: EventSource,
+        F: FnMut(&DistributedGraph, &MutationBatch, PartitionMetrics, MutationStats) -> Result<()>,
+        R: Recorder,
+    {
+        self.run_applied_inner(
+            source,
+            partitioner,
+            distributed,
+            Some(committer),
+            Some((durability, events_already_seen)),
+            on_epoch,
+            recorder,
+        )
+    }
+
+    /// Shared implementation of the applied-epoch loop: log (when
+    /// durable), apply, record, hand to `on_epoch`, commit (when
+    /// publishing), then mark the epoch durable.
+    #[allow(clippy::too_many_arguments)]
     fn run_applied_inner<S, F, R>(
         &self,
         source: S,
         partitioner: &mut DynamicPartitioner,
         distributed: &mut DistributedGraph,
         committer: Option<&dyn EpochCommitter>,
+        durability: Option<(&dyn DurabilityHook, u64)>,
         mut on_epoch: F,
         recorder: &R,
     ) -> Result<EventReport>
@@ -258,47 +343,67 @@ impl EventPipeline {
         R: Recorder,
     {
         let mut batch_index = 0u32;
-        self.run(source, partitioner, |batch, metrics| {
-            let started = recorder.start();
-            let stats = distributed.apply_mutations_with(batch, recorder)?;
-            recorder.span(
-                started,
-                SpanCtx {
-                    epoch: distributed.epoch() as u32,
-                    superstep: batch_index,
-                    worker: distributed.num_workers() as u32,
-                },
-                Phase::EpochApply,
-            );
-            recorder.counter_add("ebv_dynamic_inserts_total", batch.added().len() as u64);
-            recorder.counter_add("ebv_dynamic_deletes_total", batch.removed().len() as u64);
-            recorder.gauge_set("ebv_dynamic_live_edges", distributed.num_edges() as f64);
-            recorder.gauge_set("ebv_dynamic_replication_factor", metrics.replication_factor);
-            recorder.gauge_set("ebv_dynamic_edge_imbalance", metrics.edge_imbalance);
-            if !batch.is_empty() {
-                recorder.epoch_applied(&EpochMark {
-                    epoch: distributed.epoch() as u64,
-                    batch_index,
-                    apply_seconds: stats.apply_seconds,
-                    workers_touched: stats.workers_touched as u32,
-                    edges_rebuilt: stats.edges_rebuilt as u64,
-                    edges_added: stats.edges_added as u64,
-                    edges_removed: stats.edges_removed as u64,
-                    live_edges: distributed.num_edges() as u64,
-                    replication_factor: metrics.replication_factor,
-                    edge_imbalance: metrics.edge_imbalance,
-                });
-            }
-            batch_index += 1;
-            let applied = !batch.is_empty();
-            on_epoch(distributed, batch, metrics, stats)?;
-            if applied {
-                if let Some(committer) = committer {
-                    committer.commit_epoch(distributed);
+        let hook = durability.map(|(hook, _)| hook);
+        let mut events_seen = durability.map(|(_, start)| start).unwrap_or(0);
+        self.run_inner(
+            source,
+            partitioner,
+            |batch, metrics, raw_inserts, raw_deletes, partitioner| {
+                events_seen += (raw_inserts + raw_deletes) as u64;
+                let applied = !batch.is_empty();
+                if applied {
+                    if let Some(hook) = hook {
+                        // Write-ahead: the frame for the epoch this batch is
+                        // about to become must be durable before the batch
+                        // mutates anything.
+                        hook.log_batch(distributed.epoch() as u64 + 1, events_seen, batch)
+                            .map_err(DynamicError::Durability)?;
+                    }
                 }
-            }
-            Ok(())
-        })
+                let started = recorder.start();
+                let stats = distributed.apply_mutations_with(batch, recorder)?;
+                recorder.span(
+                    started,
+                    SpanCtx {
+                        epoch: distributed.epoch() as u32,
+                        superstep: batch_index,
+                        worker: distributed.num_workers() as u32,
+                    },
+                    Phase::EpochApply,
+                );
+                recorder.counter_add("ebv_dynamic_inserts_total", batch.added().len() as u64);
+                recorder.counter_add("ebv_dynamic_deletes_total", batch.removed().len() as u64);
+                recorder.gauge_set("ebv_dynamic_live_edges", distributed.num_edges() as f64);
+                recorder.gauge_set("ebv_dynamic_replication_factor", metrics.replication_factor);
+                recorder.gauge_set("ebv_dynamic_edge_imbalance", metrics.edge_imbalance);
+                if applied {
+                    recorder.epoch_applied(&EpochMark {
+                        epoch: distributed.epoch() as u64,
+                        batch_index,
+                        apply_seconds: stats.apply_seconds,
+                        workers_touched: stats.workers_touched as u32,
+                        edges_rebuilt: stats.edges_rebuilt as u64,
+                        edges_added: stats.edges_added as u64,
+                        edges_removed: stats.edges_removed as u64,
+                        live_edges: distributed.num_edges() as u64,
+                        replication_factor: metrics.replication_factor,
+                        edge_imbalance: metrics.edge_imbalance,
+                    });
+                }
+                batch_index += 1;
+                on_epoch(distributed, batch, metrics, stats)?;
+                if applied {
+                    if let Some(committer) = committer {
+                        committer.commit_epoch(distributed);
+                    }
+                    if let Some(hook) = hook {
+                        hook.epoch_durable(distributed, partitioner, events_seen)
+                            .map_err(DynamicError::Durability)?;
+                    }
+                }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -651,6 +756,146 @@ mod tests {
         assert!(err.to_string().contains("program failed"));
         // Epoch 1 committed; epoch 2's failure left it unpublished.
         assert_eq!(committer.commits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn durable_runs_log_before_apply_and_mark_after_commit() {
+        use std::sync::Mutex;
+
+        /// Records the hook call sequence with enough context to check the
+        /// write-ahead ordering contract.
+        #[derive(Default)]
+        struct RecordingHook {
+            calls: Mutex<Vec<(String, u64, u64)>>,
+        }
+
+        impl DurabilityHook for RecordingHook {
+            fn log_batch(
+                &self,
+                epoch: u64,
+                events_seen: u64,
+                _batch: &MutationBatch,
+            ) -> std::io::Result<()> {
+                self.calls
+                    .lock()
+                    .unwrap()
+                    .push(("log".to_string(), epoch, events_seen));
+                Ok(())
+            }
+
+            fn epoch_durable(
+                &self,
+                distributed: &DistributedGraph,
+                partitioner: &DynamicPartitioner,
+                events_seen: u64,
+            ) -> std::io::Result<()> {
+                assert_eq!(distributed.num_edges(), partitioner.live_edges());
+                self.calls.lock().unwrap().push((
+                    "durable".to_string(),
+                    distributed.epoch() as u64,
+                    events_seen,
+                ));
+                Ok(())
+            }
+        }
+
+        struct NoopCommitter;
+        impl EpochCommitter for NoopCommitter {
+            fn commit_epoch(&self, _distributed: &DistributedGraph) {}
+        }
+
+        let stream = RmatEdgeStream::new(8, 1200).with_seed(11);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let mut distributed =
+            ebv_bsp::DistributedGraph::build_streaming(4, None, Vec::new()).unwrap();
+        let churn = ChurnStream::new(stream, 0.2).unwrap().with_seed(3);
+        let hook = RecordingHook::default();
+        let offset = 40u64;
+        let report = EventPipeline::new(300)
+            .run_applied_durable(
+                churn,
+                &mut partitioner,
+                &mut distributed,
+                &NoopCommitter,
+                &hook,
+                offset,
+                |_, _, _, _| Ok(()),
+                &ebv_obs::NoopRecorder,
+            )
+            .unwrap();
+        let calls = hook.calls.into_inner().unwrap();
+        // Per applied epoch: one `log` (stamped with the epoch the batch
+        // became) immediately followed by one `durable` at that epoch.
+        assert_eq!(calls.len(), 2 * distributed.epoch());
+        for (i, pair) in calls.chunks(2).enumerate() {
+            let epoch = i as u64 + 1;
+            assert_eq!(pair[0].0, "log");
+            assert_eq!(pair[0].1, epoch, "WAL frame carries the post-apply epoch");
+            assert_eq!(pair[1].0, "durable");
+            assert_eq!(pair[1].1, epoch);
+            assert_eq!(pair[0].2, pair[1].2, "both see the same event stamp");
+        }
+        // The cumulative stamp starts at the carried-over offset and ends
+        // having counted every raw event of this run.
+        let total_events = (report.total_inserts() + report.total_deletes()) as u64;
+        assert_eq!(calls.last().unwrap().2, offset + total_events);
+    }
+
+    #[test]
+    fn failed_log_batch_aborts_before_the_batch_is_applied() {
+        struct FailingHook;
+        impl DurabilityHook for FailingHook {
+            fn log_batch(
+                &self,
+                _epoch: u64,
+                _events_seen: u64,
+                _batch: &MutationBatch,
+            ) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+
+            fn epoch_durable(
+                &self,
+                _distributed: &DistributedGraph,
+                _partitioner: &DynamicPartitioner,
+                _events_seen: u64,
+            ) -> std::io::Result<()> {
+                panic!("epoch_durable must not run when the log failed");
+            }
+        }
+
+        struct NoopCommitter;
+        impl EpochCommitter for NoopCommitter {
+            fn commit_epoch(&self, _distributed: &DistributedGraph) {
+                panic!("commit must not run when the log failed");
+            }
+        }
+
+        let stream = RmatEdgeStream::new(8, 600).with_seed(7);
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(stream.stream_config(4))
+            .unwrap();
+        let mut distributed =
+            ebv_bsp::DistributedGraph::build_streaming(4, None, Vec::new()).unwrap();
+        let err = EventPipeline::new(200)
+            .run_applied_durable(
+                InsertEvents::new(stream),
+                &mut partitioner,
+                &mut distributed,
+                &NoopCommitter,
+                &FailingHook,
+                0,
+                |_, _, _, _| panic!("on_epoch must not run when the log failed"),
+                &ebv_obs::NoopRecorder,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DynamicError::Durability(_)), "{err}");
+        assert!(err.to_string().contains("disk full"));
+        // Write-ahead means the unlogged batch never mutated the graph.
+        assert_eq!(distributed.epoch(), 0);
+        assert_eq!(distributed.num_edges(), 0);
     }
 
     #[test]

@@ -306,7 +306,10 @@ fn handle_connection(
 
 /// Liveness JSON: `ok` while epochs keep landing (or none has yet),
 /// `stale` (HTTP 503) once the newest journal record is older than the
-/// configured threshold.
+/// configured threshold. When the process runs with a durable state plane
+/// (`ebv-state` registers its metrics in the global
+/// [`MetricsRegistry`](crate::MetricsRegistry)), a `durability` object
+/// reports the checkpoint/WAL position; otherwise `durability` is `null`.
 fn healthz(telemetry: &Telemetry, staleness_threshold: Duration) -> (&'static str, String) {
     let last_age = telemetry
         .journal()
@@ -320,7 +323,7 @@ fn healthz(telemetry: &Telemetry, staleness_threshold: Duration) -> (&'static st
     };
     let body = format!(
         "{{\"status\": \"{}\", \"epochs_recorded\": {}, \"last_epoch_age_seconds\": {}, \
-         \"staleness_threshold_seconds\": {:.3}, \"spans_dropped\": {}}}\n",
+         \"staleness_threshold_seconds\": {:.3}, \"spans_dropped\": {}, \"durability\": {}}}\n",
         if stale { "stale" } else { "ok" },
         telemetry.journal().recorded_total(),
         match last_age {
@@ -329,8 +332,38 @@ fn healthz(telemetry: &Telemetry, staleness_threshold: Duration) -> (&'static st
         },
         staleness_threshold.as_secs_f64(),
         telemetry.dropped(),
+        durability_json(),
     );
     (status, body)
+}
+
+/// The `durability` section of `/healthz`, read from the global metrics
+/// registry where the durable state plane publishes its position. `null`
+/// until `ebv_checkpoint_epoch` has been registered (durability off).
+fn durability_json() -> String {
+    let snapshot = crate::MetricsRegistry::global().snapshot();
+    let gauge = |name: &str| {
+        snapshot
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let Some(checkpoint_epoch) = gauge("ebv_checkpoint_epoch") else {
+        return "null".to_string();
+    };
+    let wal_bytes = snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == "ebv_wal_bytes_total")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    let replayed = gauge("ebv_recovery_replayed_epochs").unwrap_or(0.0);
+    format!(
+        "{{\"checkpoint_epoch\": {}, \"wal_bytes_total\": {}, \
+         \"recovery_replayed_epochs\": {}}}",
+        checkpoint_epoch as u64, wal_bytes, replayed as u64
+    )
 }
 
 enum HeadError {
@@ -589,6 +622,34 @@ mod tests {
         let healthz = get(server.local_addr(), "/healthz");
         assert!(healthz.starts_with("HTTP/1.1 200 OK"));
         assert!(healthz.contains("\"last_epoch_age_seconds\": null"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_the_durable_state_plane_once_registered() {
+        let telemetry = Arc::new(Telemetry::isolated());
+        let server =
+            ObsServer::bind("127.0.0.1:0", telemetry, ObsServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        // No durable state plane in this process yet: explicit null.
+        assert!(get(addr, "/healthz").contains("\"durability\": null"));
+
+        // The moment a store registers its metrics (this test is the only
+        // one in the crate touching these names), the section goes live.
+        crate::MetricsRegistry::global()
+            .gauge("ebv_checkpoint_epoch")
+            .set(24.0);
+        crate::MetricsRegistry::global()
+            .gauge("ebv_recovery_replayed_epochs")
+            .set(3.0);
+        crate::MetricsRegistry::global()
+            .counter("ebv_wal_bytes_total")
+            .add(4096);
+        let healthz = get(addr, "/healthz");
+        assert!(healthz.contains(
+            "\"durability\": {\"checkpoint_epoch\": 24, \"wal_bytes_total\": 4096, \
+             \"recovery_replayed_epochs\": 3}"
+        ));
         server.shutdown();
     }
 

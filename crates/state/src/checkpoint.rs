@@ -1,0 +1,417 @@
+//! Full-state epoch checkpoints.
+//!
+//! A checkpoint captures everything a restart needs to continue the
+//! lineage at epoch `E` without replaying history from zero:
+//!
+//! * the **distribution** — each worker's edge list in local order, which
+//!   is sufficient to rebuild the whole [`DistributedGraph`] bit-for-bit
+//!   (replica sets, master election, isolated placement and the routing
+//!   table are all deterministic functions of the per-worker lists);
+//! * the **partitioner** — the surviving `(edge, partition)` pairs in
+//!   insertion order plus the observed vertex universe, from which
+//!   [`DynamicPartitioner::restore`] reproduces placement-identical
+//!   state;
+//! * the **warm series** — named algorithm value vectors (components,
+//!   distances, …) so warm-started programs re-seed instead of re-running
+//!   cold;
+//! * the stream position (`events_seen`) so a deterministic event source
+//!   can be fast-forwarded past everything the checkpoint already covers.
+//!
+//! The file is a magic, a varint-encoded body and a trailing CRC-32,
+//! written to a temporary name and atomically renamed into place — a
+//! checkpoint either exists completely or not at all.
+
+use std::fs;
+use std::path::Path;
+
+use ebv_bsp::{DistributedGraph, DistributedGraphBuilder};
+use ebv_graph::Edge;
+use ebv_partition::{DynamicPartitioner, PartitionId};
+
+use crate::crc::crc32;
+use crate::error::{Result, StateError};
+use crate::wal::{push_varint, Cursor};
+
+/// Magic bytes opening every checkpoint file (version 1).
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"EBVCKPT\x01";
+
+/// A named warm-algorithm value series carried by a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValues {
+    /// Unsigned values (components, hop counts, …).
+    U64(Vec<u64>),
+    /// Floating values (distances, ranks); stored as raw bits, so the
+    /// round trip is bit-exact including NaN payloads and infinities.
+    F64(Vec<f64>),
+}
+
+impl SeriesValues {
+    /// Number of values in the series.
+    pub fn len(&self) -> usize {
+        match self {
+            SeriesValues::U64(v) => v.len(),
+            SeriesValues::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the series holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A decoded checkpoint; see the [module documentation](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The epoch this checkpoint captures.
+    pub epoch: u64,
+    /// Raw stream events consumed through this epoch.
+    pub events_seen: u64,
+    /// Vertex universe of the distribution (`DistributedGraph::num_vertices`).
+    pub num_vertices: usize,
+    /// Per-worker local edge lists, in worker order and local edge order.
+    pub worker_edges: Vec<Vec<(Edge, PartitionId)>>,
+    /// The partitioner's observed universe (`DynamicPartitioner::num_vertices`).
+    pub universe: usize,
+    /// The partitioner's surviving pairs in insertion order.
+    pub surviving: Vec<(Edge, PartitionId)>,
+    /// Named warm series, sorted by name.
+    pub series: Vec<(String, SeriesValues)>,
+}
+
+impl Checkpoint {
+    /// Captures the durable snapshot of a live distribution and
+    /// partitioner.
+    pub fn capture(
+        distributed: &DistributedGraph,
+        partitioner: &DynamicPartitioner,
+        events_seen: u64,
+        series: Vec<(String, SeriesValues)>,
+    ) -> Self {
+        let worker_edges = distributed
+            .subgraphs()
+            .iter()
+            .map(|sg| {
+                let part = sg.part();
+                sg.edges().iter().map(|&e| (e, part)).collect()
+            })
+            .collect();
+        Checkpoint {
+            epoch: distributed.epoch() as u64,
+            events_seen,
+            num_vertices: distributed.num_vertices(),
+            worker_edges,
+            universe: partitioner.num_vertices(),
+            surviving: partitioner.surviving().collect(),
+            series,
+        }
+    }
+
+    /// Rebuilds the distribution this checkpoint captured, epoch stamp
+    /// included. The result satisfies
+    /// [`DistributedGraph::same_structure`] against the original.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::InvalidState`] when the stored lists are mutually
+    /// inconsistent (they came from a live graph, so this indicates file
+    /// tampering that still passed CRC, or a version skew).
+    pub fn rebuild_graph(&self) -> Result<DistributedGraph> {
+        let invalid = |err: ebv_bsp::BspError| StateError::InvalidState {
+            message: format!("checkpoint does not describe a buildable distribution: {err}"),
+        };
+        let mut builder = DistributedGraphBuilder::new(self.worker_edges.len())
+            .map_err(invalid)?
+            .with_num_vertices(self.num_vertices)
+            .with_epoch(
+                usize::try_from(self.epoch).map_err(|_| StateError::InvalidState {
+                    message: format!("checkpoint epoch {} exceeds usize", self.epoch),
+                })?,
+            );
+        for worker in &self.worker_edges {
+            for &(edge, part) in worker {
+                builder.add_edge(edge, part).map_err(invalid)?;
+            }
+        }
+        builder.finish().map_err(invalid)
+    }
+
+    /// Restores `partitioner` (freshly constructed with the original's
+    /// policy and [`ebv_partition::StreamConfig`]) to the captured state.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::InvalidState`] when the partitioner already holds
+    /// state or the pairs are inconsistent with its configuration.
+    pub fn restore_partitioner(&self, partitioner: &mut DynamicPartitioner) -> Result<()> {
+        partitioner
+            .restore(self.universe, self.surviving.iter().copied())
+            .map_err(|err| StateError::InvalidState {
+                message: format!("checkpoint does not restore the partitioner: {err}"),
+            })
+    }
+
+    /// Encodes the checkpoint: magic ‖ body ‖ crc32(body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        push_varint(&mut body, self.epoch);
+        push_varint(&mut body, self.events_seen);
+        push_varint(&mut body, self.num_vertices as u64);
+        push_varint(&mut body, self.worker_edges.len() as u64);
+        for worker in &self.worker_edges {
+            push_varint(&mut body, worker.len() as u64);
+            for &(edge, part) in worker {
+                push_varint(&mut body, edge.src.raw());
+                push_varint(&mut body, edge.dst.raw());
+                push_varint(&mut body, part.index() as u64);
+            }
+        }
+        push_varint(&mut body, self.universe as u64);
+        push_varint(&mut body, self.surviving.len() as u64);
+        for &(edge, part) in &self.surviving {
+            push_varint(&mut body, edge.src.raw());
+            push_varint(&mut body, edge.dst.raw());
+            push_varint(&mut body, part.index() as u64);
+        }
+        push_varint(&mut body, self.series.len() as u64);
+        for (name, values) in &self.series {
+            push_varint(&mut body, name.len() as u64);
+            body.extend_from_slice(name.as_bytes());
+            match values {
+                SeriesValues::U64(values) => {
+                    body.push(0);
+                    push_varint(&mut body, values.len() as u64);
+                    for &v in values {
+                        push_varint(&mut body, v);
+                    }
+                }
+                SeriesValues::F64(values) => {
+                    body.push(1);
+                    push_varint(&mut body, values.len() as u64);
+                    for &v in values {
+                        push_varint(&mut body, v.to_bits());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + body.len() + 4);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Loads and verifies a checkpoint file.
+    ///
+    /// Unlike WAL segments there is no torn-tail tolerance: checkpoints
+    /// are atomically renamed into place, so *any* damage — truncation,
+    /// wrong magic, CRC mismatch, undecodable body — is an error. The
+    /// recovery layer treats a failing load as "try the previous
+    /// checkpoint in the lineage".
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupt`] for every validation failure and
+    /// [`StateError::Io`] for filesystem failures.
+    pub fn load(path: &Path) -> Result<Self> {
+        let corrupt = |offset: u64, message: String| StateError::Corrupt {
+            file: path.to_path_buf(),
+            offset,
+            message,
+        };
+        let bytes = fs::read(path)?;
+        if bytes.len() < CHECKPOINT_MAGIC.len() + 4 {
+            return Err(corrupt(0, format!("{} bytes is too short", bytes.len())));
+        }
+        if bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+            return Err(corrupt(0, "bad checkpoint magic".to_string()));
+        }
+        let body = &bytes[CHECKPOINT_MAGIC.len()..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(corrupt(
+                CHECKPOINT_MAGIC.len() as u64,
+                format!(
+                    "CRC mismatch: stored {stored:#010x}, computed {:#010x}",
+                    crc32(body)
+                ),
+            ));
+        }
+        Self::decode_body(body).ok_or_else(|| {
+            corrupt(
+                CHECKPOINT_MAGIC.len() as u64,
+                "CRC-valid checkpoint body does not decode".to_string(),
+            )
+        })
+    }
+
+    fn decode_body(body: &[u8]) -> Option<Self> {
+        let mut cursor = Cursor::new(body);
+        let epoch = cursor.varint()?;
+        let events_seen = cursor.varint()?;
+        let num_vertices = usize::try_from(cursor.varint()?).ok()?;
+        let workers = usize::try_from(cursor.varint()?).ok()?;
+        let mut worker_edges = Vec::with_capacity(workers.min(1 << 16));
+        for _ in 0..workers {
+            worker_edges.push(decode_pair_list(&mut cursor)?);
+        }
+        let universe = usize::try_from(cursor.varint()?).ok()?;
+        let surviving = decode_pair_list(&mut cursor)?;
+        let n_series = usize::try_from(cursor.varint()?).ok()?;
+        let mut series = Vec::with_capacity(n_series.min(1 << 10));
+        for _ in 0..n_series {
+            let name_len = usize::try_from(cursor.varint()?).ok()?;
+            let name = String::from_utf8(cursor.take(name_len)?.to_vec()).ok()?;
+            let kind = *cursor.take(1)?.first()?;
+            let len = usize::try_from(cursor.varint()?).ok()?;
+            let values = match kind {
+                0 => {
+                    let mut values = Vec::with_capacity(len.min(1 << 24));
+                    for _ in 0..len {
+                        values.push(cursor.varint()?);
+                    }
+                    SeriesValues::U64(values)
+                }
+                1 => {
+                    let mut values = Vec::with_capacity(len.min(1 << 24));
+                    for _ in 0..len {
+                        values.push(f64::from_bits(cursor.varint()?));
+                    }
+                    SeriesValues::F64(values)
+                }
+                _ => return None,
+            };
+            series.push((name, values));
+        }
+        if !cursor.is_empty() {
+            return None;
+        }
+        Some(Checkpoint {
+            epoch,
+            events_seen,
+            num_vertices,
+            worker_edges,
+            universe,
+            surviving,
+            series,
+        })
+    }
+}
+
+fn decode_pair_list(cursor: &mut Cursor<'_>) -> Option<Vec<(Edge, PartitionId)>> {
+    let count = usize::try_from(cursor.varint()?).ok()?;
+    let mut pairs = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let src = cursor.varint()?;
+        let dst = cursor.varint()?;
+        let part = u32::try_from(cursor.varint()?).ok()?;
+        pairs.push((Edge::from((src, dst)), PartitionId::new(part)));
+    }
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebv_partition::{EbvPartitioner, StreamConfig};
+
+    fn sample_state() -> (DistributedGraph, DynamicPartitioner) {
+        let mut partitioner = EbvPartitioner::new()
+            .dynamic(StreamConfig::new(3).with_expected_vertices(32))
+            .unwrap();
+        let mut builder = DistributedGraph::builder(3).unwrap().with_num_vertices(32);
+        for (s, d) in [(0u64, 1u64), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6), (6, 7)] {
+            let part = partitioner.insert(Edge::from((s, d)));
+            builder.add_edge(Edge::from((s, d)), part).unwrap();
+        }
+        partitioner.delete(Edge::from((2u64, 3u64))).unwrap();
+        let mut distributed = builder.finish().unwrap();
+        // Keep the graph consistent with the partitioner: delete the same
+        // edge from whichever worker holds it.
+        let holder = distributed
+            .subgraphs()
+            .iter()
+            .find(|sg| sg.edges().contains(&Edge::from((2u64, 3u64))))
+            .map(|sg| sg.part());
+        if let Some(part) = holder {
+            let mut batch = ebv_bsp::MutationBatch::new();
+            batch.record_delete(Edge::from((2u64, 3u64)), part);
+            distributed.apply_mutations(&batch).unwrap();
+        }
+        (distributed, partitioner)
+    }
+
+    #[test]
+    fn encode_load_round_trip_is_exact() {
+        let (distributed, partitioner) = sample_state();
+        let series = vec![
+            ("cc".to_string(), SeriesValues::U64(vec![0, 0, 2, 2, 0])),
+            (
+                "sssp".to_string(),
+                SeriesValues::F64(vec![0.0, 1.5, f64::INFINITY, -0.0]),
+            ),
+        ];
+        let checkpoint = Checkpoint::capture(&distributed, &partitioner, 99, series);
+        let dir = std::env::temp_dir().join(format!("ebv-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint-1.ckpt");
+        fs::write(&path, checkpoint.encode()).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, checkpoint);
+        match &loaded.series[1].1 {
+            SeriesValues::F64(values) => {
+                assert!(values[2].is_infinite());
+                assert!(values[3].is_sign_negative(), "-0.0 round-trips bit-exactly");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebuild_reproduces_the_distribution_and_partitioner() {
+        let (distributed, partitioner) = sample_state();
+        let checkpoint = Checkpoint::capture(&distributed, &partitioner, 7, Vec::new());
+        let rebuilt = checkpoint.rebuild_graph().unwrap();
+        assert!(rebuilt.same_structure(&distributed));
+        assert_eq!(rebuilt.epoch(), distributed.epoch());
+
+        let mut fresh = EbvPartitioner::new()
+            .dynamic(StreamConfig::new(3).with_expected_vertices(32))
+            .unwrap();
+        checkpoint.restore_partitioner(&mut fresh).unwrap();
+        assert_eq!(fresh.snapshot().unwrap(), partitioner.snapshot().unwrap());
+    }
+
+    #[test]
+    fn any_damage_is_rejected() {
+        let (distributed, partitioner) = sample_state();
+        let checkpoint = Checkpoint::capture(&distributed, &partitioner, 7, Vec::new());
+        let dir = std::env::temp_dir().join(format!("ebv-ckpt-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint-1.ckpt");
+        let bytes = checkpoint.encode();
+
+        // Truncation at any byte is rejected (no torn tolerance here).
+        fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path).unwrap_err(),
+            StateError::Corrupt { .. }
+        ));
+        // A flipped bit in the body fails the CRC.
+        let mut flipped = bytes.clone();
+        flipped[CHECKPOINT_MAGIC.len() + 2] ^= 0x10;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path).unwrap_err(),
+            StateError::Corrupt { .. }
+        ));
+        // Zero-length file.
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path).unwrap_err(),
+            StateError::Corrupt { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

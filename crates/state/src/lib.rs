@@ -1,0 +1,38 @@
+//! Durable state plane: write-ahead mutation log, epoch checkpoints and
+//! crash-at-any-point recovery.
+//!
+//! The dynamic engine mutates a [`ebv_bsp::DistributedGraph`] one epoch at
+//! a time. This crate makes that lineage survive process death:
+//!
+//! * [`wal`] — length-delimited, CRC-guarded frames of
+//!   [`ebv_bsp::MutationBatch`]es, logged **before** each batch is
+//!   applied. A torn tail (the signature of a crash) is discarded
+//!   fail-safe; intact-but-inconsistent frames are hard errors.
+//! * [`checkpoint`] — periodic full snapshots (distribution, partitioner,
+//!   warm algorithm series, stream position) written atomically with an
+//!   epoch-lineage manifest.
+//! * [`store`] — [`DurableState`] glues both together: recovery loads the
+//!   newest valid checkpoint, replays the WAL suffix and tells the caller
+//!   how far the event stream must fast-forward; live operation plugs into
+//!   the engine through [`ebv_bsp::DurabilityHook`].
+//! * [`failpoint`] — byte-budget fault injection, so tests can crash the
+//!   writer after *any* byte or rename and prove recovery is exact.
+//!
+//! Durability covers process crashes (every write is flushed), not power
+//! loss (writes are not `fsync`ed); see the [`store`] docs.
+
+#![deny(missing_docs)]
+
+pub mod checkpoint;
+mod crc;
+pub mod error;
+pub mod failpoint;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::{Checkpoint, SeriesValues, CHECKPOINT_MAGIC};
+pub use crc::crc32;
+pub use error::{Result, StateError};
+pub use failpoint::Failpoint;
+pub use store::{DurableState, RecoveredState, MANIFEST_FILE};
+pub use wal::{read_segment, WalFrame, WalWriter, WAL_MAGIC};

@@ -1,0 +1,382 @@
+//! Crash-at-any-point recovery (the PR 10 robustness core).
+//!
+//! One deterministic evolving-graph pipeline — churned R-MAT stream,
+//! dynamic EBV partitioner, incremental `apply_mutations` epochs,
+//! warm-carried CC labels and SSSP distances published to the query plane
+//! — runs twice over the same durable state directory:
+//!
+//! 1. a **reference** run with a disarmed [`Failpoint`], which completes
+//!    and records how many durable units (bytes + renames) the whole run
+//!    writes;
+//! 2. a **crashed** run armed to fail after `k` units, for `k` sampled
+//!    across `[0, total)` — the write-ahead log or a checkpoint is torn at
+//!    an arbitrary byte — followed by a recovery run that reopens the
+//!    directory, rebuilds the world from the newest valid checkpoint,
+//!    replays the WAL suffix, fast-forwards the event stream by the
+//!    recovered `events_seen`, and continues to completion.
+//!
+//! The recovered run must be **bit-identical** to the reference: graph
+//! structure (including the routing table), epoch counter, warm CC/SSSP
+//! value vectors, partitioner surviving set / metrics / snapshot, and the
+//! served query-plane snapshot. Anything less means a crash window exists
+//! in which durability silently forks the lineage.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use ebv_algorithms::{
+    ConnectedComponents, IncrementalConnectedComponents, IncrementalSssp, SingleSourceShortestPath,
+    UNREACHABLE,
+};
+use ebv_bsp::{BspEngine, DistributedGraph, EpochCommitter, RunOptions};
+use ebv_dynamic::{ChurnStream, DynamicError, EventPipeline, EventSource};
+use ebv_graph::{Edge, VertexId};
+use ebv_obs::NoopRecorder;
+use ebv_partition::{EbvPartitioner, PartitionId, PartitionMetrics, PartitionResult};
+use ebv_serve::{GraphSnapshot, SeriesData, SnapshotStore};
+use ebv_state::{DurableState, Failpoint, SeriesValues, StateError};
+use ebv_stream::{EdgeSource, RmatEdgeStream};
+
+const SCALE: u32 = 7; // 128 vertices
+const EDGES: usize = 700;
+const WORKERS: usize = 4;
+const CHURN: f64 = 0.25;
+const BATCH: usize = 64; // ~15 applied epochs per run
+const SEED: u64 = 20_210_707;
+const SOURCE: u64 = 0;
+const CHECKPOINT_EVERY: usize = 3;
+
+/// Everything the recovered run must reproduce bit-for-bit.
+struct Final {
+    graph: DistributedGraph,
+    labels: Vec<u64>,
+    distances: Vec<u64>,
+    surviving: Vec<(Edge, PartitionId)>,
+    metrics: PartitionMetrics,
+    snapshot: PartitionResult,
+    served_epoch: u64,
+    served_cc: Vec<u64>,
+    served_sssp: Vec<u64>,
+    events_total: u64,
+}
+
+fn state_err(err: StateError) -> DynamicError {
+    DynamicError::Durability(err.into())
+}
+
+fn series_u64(values: &SeriesValues) -> Vec<u64> {
+    match values {
+        SeriesValues::U64(v) => v.clone(),
+        other => panic!("expected a u64 series, got {other:?}"),
+    }
+}
+
+fn served_u64(snapshot: &GraphSnapshot, name: &str) -> Vec<u64> {
+    match &snapshot.series(name).expect("series published").data {
+        SeriesData::U64 { values, .. } => values.clone(),
+        other => panic!("{name} must serve as u64, got {other:?}"),
+    }
+}
+
+/// Runs the full pipeline over `dir`: recover whatever the directory
+/// holds, continue to the end of the event stream, return the final
+/// state. With an armed failpoint this returns the injected-crash error
+/// at some arbitrary point instead.
+fn run_to_completion(dir: &Path, failpoint: Failpoint) -> Result<Final, DynamicError> {
+    let engine = BspEngine::sequential();
+    let source = VertexId::new(SOURCE);
+    let (store, recovered) =
+        DurableState::open_with_failpoint(dir, CHECKPOINT_EVERY, failpoint).map_err(state_err)?;
+
+    let stream = RmatEdgeStream::new(SCALE, EDGES).with_seed(SEED);
+    let mut partitioner = EbvPartitioner::new()
+        .dynamic(stream.stream_config(WORKERS))
+        .expect("partitioner config");
+    let mut distributed = match recovered.checkpoint.as_ref() {
+        Some(checkpoint) => checkpoint.rebuild_graph().map_err(state_err)?,
+        None => DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())
+            .expect("empty distribution"),
+    };
+    if !recovered.is_empty() {
+        let (universe, pairs) = recovered.resume_partition_state().map_err(state_err)?;
+        partitioner.restore(universe, pairs)?;
+    }
+
+    // Warm seeds: the checkpointed series, or (fresh start / WAL-only
+    // recovery) the cold values of the empty distribution — exactly what
+    // the reference run started from.
+    let (mut labels, mut distances) = match recovered.checkpoint.as_ref() {
+        Some(checkpoint) => {
+            let lookup = |name: &str| {
+                checkpoint
+                    .series
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| series_u64(v))
+                    .unwrap_or_else(|| panic!("checkpoint misses warm series {name:?}"))
+            };
+            (lookup("cc"), lookup("sssp"))
+        }
+        None => {
+            let labels = engine
+                .run(&distributed, &ConnectedComponents::new())
+                .expect("cold CC")
+                .values;
+            let distances = engine
+                .run(&distributed, &SingleSourceShortestPath::new(source))
+                .expect("cold SSSP")
+                .values;
+            (labels, distances)
+        }
+    };
+
+    // Replay the WAL suffix: apply each logged batch and re-run the warm
+    // programs, publishing to the query plane like the live loop does.
+    let snapshots = SnapshotStore::new();
+    for frame in &recovered.frames {
+        distributed.apply_mutations(&frame.batch)?;
+        let cc_program = IncrementalConnectedComponents::from_batch(&labels, &frame.batch);
+        labels = engine
+            .run_opts(
+                &distributed,
+                &cc_program,
+                RunOptions::new()
+                    .warm_seed(&labels)
+                    .publish_to(&snapshots.series_sink::<u64>("cc")),
+            )
+            .expect("warm CC replay")
+            .values;
+        let sssp_program =
+            IncrementalSssp::from_distributed(source, &distributed, &distances, &frame.batch);
+        distances = engine
+            .run_opts(
+                &distributed,
+                &sssp_program,
+                RunOptions::new().warm_seed(&distances).publish_to(
+                    &snapshots
+                        .series_sink::<u64>("sssp")
+                        .with_absent(UNREACHABLE),
+                ),
+            )
+            .expect("warm SSSP replay")
+            .values;
+        snapshots.commit_epoch(&distributed);
+    }
+
+    // Fast-forward the deterministic event stream past everything the
+    // recovered state already absorbed, then continue durably.
+    let mut churn = ChurnStream::new(RmatEdgeStream::new(SCALE, EDGES).with_seed(SEED), CHURN)
+        .expect("churn config")
+        .with_seed(SEED);
+    for _ in 0..recovered.events_seen() {
+        churn
+            .next_event()
+            .expect("recovered position lies within the stream")?;
+    }
+
+    let events_start = recovered.events_seen();
+    let report = EventPipeline::new(BATCH).run_applied_durable(
+        churn,
+        &mut partitioner,
+        &mut distributed,
+        &snapshots,
+        &store,
+        events_start,
+        |dg, batch, _metrics, _stats| {
+            let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
+            labels = engine
+                .run_opts(
+                    dg,
+                    &cc_program,
+                    RunOptions::new()
+                        .warm_seed(&labels)
+                        .publish_to(&snapshots.series_sink::<u64>("cc")),
+                )
+                .map_err(DynamicError::Bsp)?
+                .values;
+            let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+            distances = engine
+                .run_opts(
+                    dg,
+                    &sssp_program,
+                    RunOptions::new().warm_seed(&distances).publish_to(
+                        &snapshots
+                            .series_sink::<u64>("sssp")
+                            .with_absent(UNREACHABLE),
+                    ),
+                )
+                .map_err(DynamicError::Bsp)?
+                .values;
+            store.stage_series("cc", SeriesValues::U64(labels.clone()));
+            store.stage_series("sssp", SeriesValues::U64(distances.clone()));
+            Ok(())
+        },
+        &NoopRecorder,
+    )?;
+
+    let served = snapshots.handle().snapshot().expect("an epoch was served");
+    Ok(Final {
+        served_epoch: served.epoch,
+        served_cc: served_u64(&served, "cc"),
+        served_sssp: served_u64(&served, "sssp"),
+        labels,
+        distances,
+        surviving: partitioner.surviving().collect(),
+        metrics: partitioner.metrics(),
+        snapshot: partitioner.snapshot().expect("snapshot"),
+        events_total: events_start + (report.total_inserts() + report.total_deletes()) as u64,
+        graph: distributed,
+    })
+}
+
+/// The reference run and the total durable unit count, computed once.
+fn reference() -> &'static (Final, u64) {
+    static REFERENCE: OnceLock<(Final, u64)> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let dir = fresh_dir("reference");
+        let failpoint = Failpoint::disarmed();
+        let final_state =
+            run_to_completion(&dir, failpoint.clone()).expect("the reference run completes");
+        let total = failpoint.units_used();
+        assert!(
+            final_state.graph.epoch() >= 10,
+            "the scenario must churn at least 10 applied epochs, got {}",
+            final_state.graph.epoch()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        (final_state, total)
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ebv-crash-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Crashes a run after `budget` durable units, recovers from the torn
+/// directory, and asserts the completed recovery equals the reference.
+fn crash_recover_and_compare(budget: u64) {
+    let (reference, total) = reference();
+    assert!(budget < *total);
+    let dir = fresh_dir("run");
+
+    let crashed = run_to_completion(&dir, Failpoint::crash_after(budget));
+    match crashed {
+        Err(DynamicError::Durability(err)) => {
+            assert!(
+                err.to_string().contains("injected crash"),
+                "budget {budget}: unexpected durability failure {err}"
+            );
+        }
+        Err(other) => panic!("budget {budget}: wrong error family {other}"),
+        Ok(_) => panic!("budget {budget} < total {total} must crash"),
+    }
+
+    let recovered = run_to_completion(&dir, Failpoint::disarmed())
+        .unwrap_or_else(|err| panic!("budget {budget}: recovery failed: {err}"));
+
+    assert!(
+        recovered.graph.same_structure(&reference.graph),
+        "budget {budget}: recovered graph structure diverged"
+    );
+    assert_eq!(
+        recovered.graph.epoch(),
+        reference.graph.epoch(),
+        "budget {budget}: epoch counter diverged"
+    );
+    assert_eq!(
+        recovered.labels, reference.labels,
+        "budget {budget}: warm CC labels diverged"
+    );
+    assert_eq!(
+        recovered.distances, reference.distances,
+        "budget {budget}: warm SSSP distances diverged"
+    );
+    assert_eq!(
+        recovered.surviving, reference.surviving,
+        "budget {budget}: partitioner surviving set diverged"
+    );
+    assert_eq!(
+        recovered.metrics, reference.metrics,
+        "budget {budget}: partitioner metrics diverged"
+    );
+    assert_eq!(
+        recovered.snapshot, reference.snapshot,
+        "budget {budget}: partitioner snapshot diverged"
+    );
+    assert_eq!(
+        recovered.served_epoch, reference.served_epoch,
+        "budget {budget}: served snapshot epoch diverged"
+    );
+    assert_eq!(
+        recovered.served_cc, reference.served_cc,
+        "budget {budget}: served CC series diverged"
+    );
+    assert_eq!(
+        recovered.served_sssp, reference.served_sssp,
+        "budget {budget}: served SSSP series diverged"
+    );
+    assert_eq!(
+        recovered.events_total, reference.events_total,
+        "budget {budget}: cumulative event count diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash after an arbitrary durable unit anywhere in the run; the
+    /// recovered run is bit-identical to the never-crashed reference.
+    #[test]
+    fn recovery_is_bit_identical_at_arbitrary_crash_points(fraction in 0.0f64..1.0) {
+        let (_, total) = reference();
+        let budget = ((fraction * *total as f64) as u64).min(total - 1);
+        crash_recover_and_compare(budget);
+    }
+}
+
+/// The boundary crash points the uniform sample is unlikely to hit: the
+/// very first durable byte (nothing survives; recovery is a full re-run)
+/// and the very last unit (everything but the final write survives).
+#[test]
+fn recovery_is_bit_identical_at_the_boundaries() {
+    let (_, total) = reference();
+    crash_recover_and_compare(0);
+    crash_recover_and_compare(total - 1);
+}
+
+/// A crash mid-run whose recovery itself crashes, recovered again: the
+/// double-crash lineage still converges to the reference.
+#[test]
+fn recovery_survives_a_second_crash() {
+    let (reference_final, total) = reference();
+    let dir = fresh_dir("double");
+    // First crash roughly mid-run, second shortly after resume.
+    let first = total / 2;
+    assert!(matches!(
+        run_to_completion(&dir, Failpoint::crash_after(first)),
+        Err(DynamicError::Durability(_))
+    ));
+    let second = (total / 16).max(1);
+    assert!(matches!(
+        run_to_completion(&dir, Failpoint::crash_after(second)),
+        Err(DynamicError::Durability(_))
+    ));
+    let recovered = run_to_completion(&dir, Failpoint::disarmed()).expect("third run completes");
+    assert!(recovered.graph.same_structure(&reference_final.graph));
+    assert_eq!(recovered.graph.epoch(), reference_final.graph.epoch());
+    assert_eq!(recovered.labels, reference_final.labels);
+    assert_eq!(recovered.distances, reference_final.distances);
+    assert_eq!(recovered.events_total, reference_final.events_total);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -14,22 +14,10 @@ use ebv_graph::Edge;
 
 use crate::error::{Result, StreamError};
 use crate::source::EdgeSource;
+use crate::varint::{self, VarintError};
 
 /// Magic bytes opening every binary edge stream (version 1).
 pub const MAGIC: [u8; 8] = *b"EBVSTRM\x01";
-
-/// Writes the LEB128 varint encoding of `value`.
-fn write_varint<W: Write>(writer: &mut W, mut value: u64) -> Result<()> {
-    loop {
-        let byte = (value & 0x7F) as u8;
-        value >>= 7;
-        if value == 0 {
-            writer.write_all(&[byte])?;
-            return Ok(());
-        }
-        writer.write_all(&[byte | 0x80])?;
-    }
-}
 
 /// Serializer for the binary edge-stream format.
 ///
@@ -78,8 +66,8 @@ impl<W: Write> BinaryEdgeWriter<W> {
     ///
     /// Returns [`StreamError::Io`] when writing fails.
     pub fn write_edge(&mut self, edge: Edge) -> Result<()> {
-        write_varint(&mut self.writer, edge.src.raw())?;
-        write_varint(&mut self.writer, edge.dst.raw())?;
+        varint::write_u64(&mut self.writer, edge.src.raw())?;
+        varint::write_u64(&mut self.writer, edge.dst.raw())?;
         self.edges_written += 1;
         Ok(())
     }
@@ -148,39 +136,24 @@ impl<R: Read> BinaryEdgeReader<R> {
         Ok(BinaryEdgeReader { reader, offset: 8 })
     }
 
-    /// Reads one varint; `Ok(None)` on clean EOF at the first byte.
+    /// Reads one varint via the shared strict codec; `Ok(None)` on clean
+    /// EOF at the first byte when `allow_eof` is set.
     fn read_varint(&mut self, allow_eof: bool) -> Result<Option<u64>> {
-        let mut value: u64 = 0;
-        let mut shift: u32 = 0;
-        let mut first = true;
-        loop {
-            let mut byte = [0u8; 1];
-            match self.reader.read_exact(&mut byte) {
-                Ok(()) => {}
-                Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => {
-                    if first && allow_eof {
-                        return Ok(None);
-                    }
-                    return Err(StreamError::InvalidFormat {
-                        offset: self.offset,
-                        message: "stream truncated mid-edge".to_string(),
-                    });
-                }
-                Err(err) => return Err(StreamError::Io(err)),
-            }
-            self.offset += 1;
-            if shift >= 64 || (shift == 63 && byte[0] & 0x7E != 0) {
-                return Err(StreamError::InvalidFormat {
-                    offset: self.offset,
-                    message: "varint overflows u64".to_string(),
-                });
-            }
-            value |= u64::from(byte[0] & 0x7F) << shift;
-            if byte[0] & 0x80 == 0 {
-                return Ok(Some(value));
-            }
-            shift += 7;
-            first = false;
+        let invalid = |offset: u64, message: &str| StreamError::InvalidFormat {
+            offset,
+            message: message.to_string(),
+        };
+        match varint::read_u64(&mut self.reader, &mut self.offset) {
+            Ok(Some(value)) => Ok(Some(value)),
+            Ok(None) if allow_eof => Ok(None),
+            Ok(None) => Err(invalid(self.offset, "stream truncated mid-edge")),
+            Err(VarintError::Truncated) => Err(invalid(self.offset, "stream truncated mid-edge")),
+            Err(VarintError::Overflow) => Err(invalid(self.offset, "varint overflows u64")),
+            Err(VarintError::NonCanonical) => Err(invalid(
+                self.offset,
+                "non-canonical over-long varint encoding",
+            )),
+            Err(VarintError::Io(err)) => Err(StreamError::Io(err)),
         }
     }
 }
@@ -274,6 +247,25 @@ mod tests {
         assert!(matches!(err, StreamError::InvalidFormat { offset: 0, .. }));
         let err = BinaryEdgeReader::new(&b"EBV"[..]).unwrap_err();
         assert!(matches!(err, StreamError::InvalidFormat { offset: 0, .. }));
+    }
+
+    #[test]
+    fn over_long_varint_encodings_are_rejected() {
+        // `src = [0x80, 0x00]` is a non-canonical encoding of zero: the
+        // continuation byte contributes no bits. A strict reader must
+        // refuse it — WAL framing reuses this decoder, and canonical
+        // encodings are what make re-encoded frames byte-identical.
+        let mut buffer = MAGIC.to_vec();
+        buffer.extend_from_slice(&[0x80, 0x00, 0x05]);
+        let mut reader = BinaryEdgeReader::new(buffer.as_slice()).unwrap();
+        let err = reader.next_edge().unwrap().unwrap_err();
+        match err {
+            StreamError::InvalidFormat { offset, message } => {
+                assert_eq!(offset, 10, "both bytes of the bad varint consumed");
+                assert!(message.contains("non-canonical"), "{message}");
+            }
+            other => panic!("expected InvalidFormat, got {other:?}"),
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod pipeline;
 mod source;
 mod synthetic;
 mod text;
+pub mod varint;
 
 pub use binary::{BinaryEdgeReader, BinaryEdgeWriter, MAGIC};
 pub use error::{Result, StreamError};

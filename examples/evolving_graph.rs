@@ -61,7 +61,10 @@ use ebv::algorithms::{
     ranks, BreadthFirstSearch, ConnectedComponents, IncrementalBfs, IncrementalConnectedComponents,
     IncrementalPageRank, IncrementalSssp, SingleSourceShortestPath,
 };
-use ebv::bsp::{BspEngine, BspOutcome, DistributedGraph, EnvConfig, RunOptions};
+use ebv::bsp::{
+    BspEngine, BspOutcome, DistributedGraph, EnvConfig, EpochCommitter, MutationBatch,
+    MutationStats, RunOptions,
+};
 use ebv::dynamic::{batch_from_plan, ChurnStream, EventPipeline, EventSource, SlidingWindow};
 use ebv::graph::{GraphBuilder, VertexId};
 use ebv::obs::{
@@ -70,6 +73,7 @@ use ebv::obs::{
 };
 use ebv::partition::{EbvPartitioner, PartitionMetrics, RebalanceConfig, StreamConfig};
 use ebv::serve::{register_query_routes, SnapshotStore};
+use ebv::state::{Checkpoint, DurableState, RecoveredState, SeriesValues};
 use ebv::stream::{EdgeSource, RmatEdgeStream};
 
 const SCALE: u32 = 16; // 65 536 vertices
@@ -135,6 +139,76 @@ fn assert_metrics_recompute_exactly(
     Ok(maintained)
 }
 
+/// A checkpointed warm value series, by name. Checkpoints taken by the
+/// durable loop below always carry all three, so a miss is a hard error.
+fn checkpoint_series(checkpoint: &Checkpoint, name: &str) -> Vec<u64> {
+    match checkpoint.series.iter().find(|(n, _)| n == name) {
+        Some((_, SeriesValues::U64(values))) => values.clone(),
+        other => panic!("checkpoint misses u64 warm series {name:?}: {other:?}"),
+    }
+}
+
+/// Re-runs the three warm programs for one replayed (or just-recovered)
+/// epoch and commits the values to the query plane — the same staging the
+/// live loop performs, minus telemetry.
+#[allow(clippy::too_many_arguments)]
+fn replay_warm_epoch(
+    engine: &BspEngine,
+    store: &SnapshotStore,
+    source: VertexId,
+    distributed: &DistributedGraph,
+    batch: &MutationBatch,
+    labels: &mut Vec<u64>,
+    distances: &mut Vec<u64>,
+    depths: &mut Vec<u64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let cc_program = IncrementalConnectedComponents::from_batch(labels, batch);
+    *labels = engine
+        .run_opts(
+            distributed,
+            &cc_program,
+            RunOptions::new()
+                .warm_seed(labels)
+                .publish_to(&store.series_sink::<u64>("cc")),
+        )?
+        .values;
+    let sssp_program = IncrementalSssp::from_distributed(source, distributed, distances, batch);
+    *distances = engine
+        .run_opts(
+            distributed,
+            &sssp_program,
+            RunOptions::new().warm_seed(distances).publish_to(
+                &store
+                    .series_sink::<u64>("sssp")
+                    .with_absent(ebv::algorithms::UNREACHABLE),
+            ),
+        )?
+        .values;
+    let bfs_program = IncrementalBfs::from_distributed(source, distributed, depths, batch);
+    *depths = engine
+        .run_opts(
+            distributed,
+            &bfs_program,
+            RunOptions::new().warm_seed(depths).publish_to(
+                &store
+                    .series_sink::<u64>("bfs")
+                    .with_absent(ebv::algorithms::UNREACHABLE),
+            ),
+        )?
+        .values;
+    store.commit_epoch(distributed);
+    Ok(())
+}
+
+/// FNV-1a over a value vector: the order-sensitive fingerprint printed in
+/// the `durable summary` line, which the CI crash-recovery smoke compares
+/// between a SIGKILLed-and-restarted run and a clean reference run.
+fn fingerprint(values: &[u64]) -> u64 {
+    values.iter().fold(0xcbf2_9ce4_8422_2325_u64, |acc, value| {
+        (acc ^ value).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "evolving graph: {NUM_EDGES} R-MAT arrivals over 2^{SCALE} vertices, churn {CHURN}, \
@@ -183,28 +257,120 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Phase 1: churned ingestion through `run_applied` — one
     //    *incremental* apply_mutations epoch per batch; CC labels, SSSP
     //    distances and BFS depths all *warm-started* across every epoch ───
+    // `EBV_STATE_DIR` turns on the durable state plane: every applied
+    // batch is write-ahead logged before it mutates the distribution, the
+    // whole world (graph, partitioner inputs, warm value series) is
+    // checkpointed every `EBV_CHECKPOINT_EVERY` applied epochs, and a
+    // restart over the same directory recovers the newest valid
+    // checkpoint plus the WAL suffix before continuing the stream.
+    let durable = match env_config().state_dir {
+        Some(dir) => {
+            let (state, recovered) = DurableState::open(&dir, env_config().checkpoint_every)?;
+            println!(
+                "durable state plane at {} (checkpoint every {} epochs): recovered {}\n",
+                dir.display(),
+                env_config().checkpoint_every,
+                match (recovered.checkpoint.as_ref(), recovered.frames.len()) {
+                    (None, 0) => "nothing — fresh start".to_string(),
+                    (checkpoint, frames) => format!(
+                        "checkpoint epoch {} + {frames} WAL epoch(s)",
+                        checkpoint.map(|c| c.epoch).unwrap_or(0),
+                    ),
+                },
+            );
+            Some((state, recovered))
+        }
+        None => None,
+    };
+    let recovered: Option<&RecoveredState> = durable.as_ref().map(|(_, recovered)| recovered);
+    let checkpoint = recovered.and_then(|recovered| recovered.checkpoint.as_ref());
+
     let stream = RmatEdgeStream::new(SCALE, NUM_EDGES).with_seed(SEED);
     let mut partitioner = EbvPartitioner::new().dynamic(stream.stream_config(WORKERS))?;
     // Declare the generator's full vertex universe up front so the
-    // distribution and the partitioner agree on it at every epoch.
-    let mut distributed = DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())?;
-    let churn = ChurnStream::new(stream, CHURN)?.with_seed(SEED);
+    // distribution and the partitioner agree on it at every epoch. A
+    // resume rebuilds the checkpointed distribution and restores the
+    // partitioner's surviving multiset (checkpoint + WAL replay) instead.
+    let mut distributed = match checkpoint {
+        Some(checkpoint) => checkpoint.rebuild_graph()?,
+        None => DistributedGraph::build_streaming(WORKERS, Some(1 << SCALE), Vec::new())?,
+    };
+    if let Some(recovered) = recovered.filter(|recovered| !recovered.is_empty()) {
+        let (universe, pairs) = recovered.resume_partition_state()?;
+        partitioner.restore(universe, pairs)?;
+    }
     let engine = engine_from_env();
     let source = VertexId::new(SOURCE);
 
-    // Values of the empty distribution: every vertex its own component,
+    // Warm seeds: the checkpointed value series on resume, otherwise the
+    // values of the empty distribution — every vertex its own component,
     // everything but the source unreachable.
-    let mut labels = cc(&distributed, telemetry).values;
-    let mut distances = engine
-        .run_with(
-            &distributed,
-            &SingleSourceShortestPath::new(source),
-            telemetry,
-        )?
-        .values;
-    let mut depths = engine
-        .run_with(&distributed, &BreadthFirstSearch::new(source), telemetry)?
-        .values;
+    let (mut labels, mut distances, mut depths) = match checkpoint {
+        Some(checkpoint) => (
+            checkpoint_series(checkpoint, "cc"),
+            checkpoint_series(checkpoint, "sssp"),
+            checkpoint_series(checkpoint, "bfs"),
+        ),
+        None => (
+            cc(&distributed, telemetry).values,
+            engine
+                .run_with(
+                    &distributed,
+                    &SingleSourceShortestPath::new(source),
+                    telemetry,
+                )?
+                .values,
+            engine
+                .run_with(&distributed, &BreadthFirstSearch::new(source), telemetry)?
+                .values,
+        ),
+    };
+
+    // Replay the WAL suffix beyond the checkpoint: apply each logged
+    // batch and re-run the warm programs, publishing to the query plane
+    // exactly like the live loop below. A resume that lands exactly on a
+    // checkpoint still publishes the recovered values once — an
+    // empty-batch warm run converges immediately and commits them.
+    if let Some(recovered) = recovered {
+        for frame in &recovered.frames {
+            distributed.apply_mutations(&frame.batch)?;
+            replay_warm_epoch(
+                &engine,
+                &store,
+                source,
+                &distributed,
+                &frame.batch,
+                &mut labels,
+                &mut distances,
+                &mut depths,
+            )?;
+        }
+        if !recovered.is_empty() && recovered.frames.is_empty() {
+            let empty = MutationBatch::from_parts(Vec::new(), Vec::new());
+            replay_warm_epoch(
+                &engine,
+                &store,
+                source,
+                &distributed,
+                &empty,
+                &mut labels,
+                &mut distances,
+                &mut depths,
+            )?;
+        }
+    }
+
+    // Fast-forward the deterministic event stream past everything the
+    // recovered state already absorbed; WAL frame stamps count raw events
+    // *before* batch cancellation, so this replays the exact draw
+    // sequence.
+    let events_already_seen = recovered.map(RecoveredState::events_seen).unwrap_or(0);
+    let mut churn = ChurnStream::new(stream, CHURN)?.with_seed(SEED);
+    for _ in 0..events_already_seen {
+        churn
+            .next_event()
+            .expect("recovered position lies within the stream")?;
+    }
     let mut warm_cc_time = Duration::ZERO;
     let mut warm_sssp_time = Duration::ZERO;
     let mut warm_bfs_time = Duration::ZERO;
@@ -213,99 +379,124 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "epoch  live-edges  ins     del     rf      e-imb   touched  rebuilt  apply-ms  sssp-cone"
     );
-    let report = EventPipeline::new(BATCH).run_applied_publishing(
-        churn,
-        &mut partitioner,
-        &mut distributed,
-        &store,
-        |dg, batch, metrics, stats| {
-            // Incremental assembly already happened: `dg` is the
-            // post-mutation distribution, only touched workers rebuilt.
-            // Warm-started re-execution re-activates only the disturbed
-            // region for all three carried outcomes; each timed window
-            // covers program construction (dirty sets, deletion cones)
-            // plus the warm BSP run. The constructions — the invalidation
-            // work proper — are additionally recorded as
-            // `warm_invalidation` spans on the engine-side track.
-            let warm_ctx = SpanCtx {
-                epoch: dg.epoch() as u32,
-                superstep: 0,
-                worker: WORKERS as u32,
-            };
-            let warm_started = Instant::now();
-            let span = telemetry.start();
-            // Each warm run *stages* its values into the snapshot store
-            // (`publish_to`); the pipeline commits them together once this
-            // closure returns, so live readers flip from epoch N−1's
-            // complete answers to epoch N's in one atomic step.
-            let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
-            telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
-            labels = engine
-                .run_opts(
-                    dg,
-                    &cc_program,
-                    RunOptions::new()
-                        .recorder(telemetry)
-                        .warm_seed(&labels)
-                        .publish_to(&store.series_sink::<u64>("cc")),
-                )?
-                .values;
-            warm_cc_time += warm_started.elapsed();
-            let warm_started = Instant::now();
-            let span = telemetry.start();
-            let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
-            telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
-            distances = engine
-                .run_opts(
-                    dg,
-                    &sssp_program,
-                    RunOptions::new()
-                        .recorder(telemetry)
-                        .warm_seed(&distances)
-                        .publish_to(
-                            &store
-                                .series_sink::<u64>("sssp")
-                                .with_absent(ebv::algorithms::UNREACHABLE),
-                        ),
-                )?
-                .values;
-            warm_sssp_time += warm_started.elapsed();
-            let warm_started = Instant::now();
-            let span = telemetry.start();
-            let bfs_program = IncrementalBfs::from_distributed(source, dg, &depths, batch);
-            telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
-            depths = engine
-                .run_opts(
-                    dg,
-                    &bfs_program,
-                    RunOptions::new()
-                        .recorder(telemetry)
-                        .warm_seed(&depths)
-                        .publish_to(
-                            &store
-                                .series_sink::<u64>("bfs")
-                                .with_absent(ebv::algorithms::UNREACHABLE),
-                        ),
-                )?
-                .values;
-            warm_bfs_time += warm_started.elapsed();
-            println!(
-                "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}  {:>8.2}  {:>9}",
-                dg.epoch(),
-                dg.num_edges(),
-                batch.added().len(),
-                batch.removed().len(),
-                metrics.replication_factor,
-                metrics.edge_imbalance,
-                stats.workers_touched,
-                stats.edges_rebuilt,
-                stats.apply_seconds * 1e3,
-                sssp_program.cone_vertices(),
-            );
-            Ok(())
-        },
-        telemetry,
-    )?;
+    let mut on_epoch = |dg: &DistributedGraph,
+                        batch: &MutationBatch,
+                        metrics: PartitionMetrics,
+                        stats: MutationStats|
+     -> Result<(), ebv::dynamic::DynamicError> {
+        // Incremental assembly already happened: `dg` is the
+        // post-mutation distribution, only touched workers rebuilt.
+        // Warm-started re-execution re-activates only the disturbed
+        // region for all three carried outcomes; each timed window
+        // covers program construction (dirty sets, deletion cones)
+        // plus the warm BSP run. The constructions — the invalidation
+        // work proper — are additionally recorded as
+        // `warm_invalidation` spans on the engine-side track.
+        let warm_ctx = SpanCtx {
+            epoch: dg.epoch() as u32,
+            superstep: 0,
+            worker: WORKERS as u32,
+        };
+        let warm_started = Instant::now();
+        let span = telemetry.start();
+        // Each warm run *stages* its values into the snapshot store
+        // (`publish_to`); the pipeline commits them together once this
+        // closure returns, so live readers flip from epoch N−1's
+        // complete answers to epoch N's in one atomic step.
+        let cc_program = IncrementalConnectedComponents::from_batch(&labels, batch);
+        telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
+        labels = engine
+            .run_opts(
+                dg,
+                &cc_program,
+                RunOptions::new()
+                    .recorder(telemetry)
+                    .warm_seed(&labels)
+                    .publish_to(&store.series_sink::<u64>("cc")),
+            )?
+            .values;
+        warm_cc_time += warm_started.elapsed();
+        let warm_started = Instant::now();
+        let span = telemetry.start();
+        let sssp_program = IncrementalSssp::from_distributed(source, dg, &distances, batch);
+        telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
+        distances = engine
+            .run_opts(
+                dg,
+                &sssp_program,
+                RunOptions::new()
+                    .recorder(telemetry)
+                    .warm_seed(&distances)
+                    .publish_to(
+                        &store
+                            .series_sink::<u64>("sssp")
+                            .with_absent(ebv::algorithms::UNREACHABLE),
+                    ),
+            )?
+            .values;
+        warm_sssp_time += warm_started.elapsed();
+        let warm_started = Instant::now();
+        let span = telemetry.start();
+        let bfs_program = IncrementalBfs::from_distributed(source, dg, &depths, batch);
+        telemetry.span(span, warm_ctx, Phase::WarmInvalidation);
+        depths = engine
+            .run_opts(
+                dg,
+                &bfs_program,
+                RunOptions::new()
+                    .recorder(telemetry)
+                    .warm_seed(&depths)
+                    .publish_to(
+                        &store
+                            .series_sink::<u64>("bfs")
+                            .with_absent(ebv::algorithms::UNREACHABLE),
+                    ),
+            )?
+            .values;
+        warm_bfs_time += warm_started.elapsed();
+        // Durable runs stage the post-epoch warm series so the next
+        // cadenced checkpoint snapshots them alongside the graph and
+        // a restart can re-seed the warm programs exactly.
+        if let Some((state, _)) = durable.as_ref() {
+            state.stage_series("cc", SeriesValues::U64(labels.clone()));
+            state.stage_series("sssp", SeriesValues::U64(distances.clone()));
+            state.stage_series("bfs", SeriesValues::U64(depths.clone()));
+        }
+        println!(
+            "{:>5}  {:>10}  {:>6}  {:>6}  {:.4}  {:.4}  {:>4}/{WORKERS}  {:>7}  {:>8.2}  {:>9}",
+            dg.epoch(),
+            dg.num_edges(),
+            batch.added().len(),
+            batch.removed().len(),
+            metrics.replication_factor,
+            metrics.edge_imbalance,
+            stats.workers_touched,
+            stats.edges_rebuilt,
+            stats.apply_seconds * 1e3,
+            sssp_program.cone_vertices(),
+        );
+        Ok(())
+    };
+    let report = match durable.as_ref() {
+        Some((state, _)) => EventPipeline::new(BATCH).run_applied_durable(
+            churn,
+            &mut partitioner,
+            &mut distributed,
+            &store,
+            state,
+            events_already_seen,
+            &mut on_epoch,
+            telemetry,
+        )?,
+        None => EventPipeline::new(BATCH).run_applied_publishing(
+            churn,
+            &mut partitioner,
+            &mut distributed,
+            &store,
+            &mut on_epoch,
+            telemetry,
+        )?,
+    };
     let elapsed = started.elapsed();
     let events = report.total_inserts() + report.total_deletes();
     println!(
@@ -316,6 +507,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         events as f64 / elapsed.as_secs_f64(),
     );
     assert_eq!(distributed.num_edges(), partitioner.live_edges());
+
+    // The deterministic end-of-ingestion state in one line: the CI
+    // crash-recovery smoke SIGKILLs a durable run mid-churn, restarts it,
+    // and asserts this line matches a never-killed reference run.
+    println!(
+        "durable summary: epoch={} edges={} events={} cc={:016x} sssp={:016x} bfs={:016x}",
+        distributed.epoch(),
+        distributed.num_edges(),
+        events_already_seen + (report.total_inserts() + report.total_deletes()) as u64,
+        fingerprint(&labels),
+        fingerprint(&distances),
+        fingerprint(&depths),
+    );
 
     // The query plane serves the final epoch: the committed snapshot is
     // tagged with the last applied epoch and its values are bit-identical

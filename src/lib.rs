@@ -19,6 +19,8 @@
 //! * [`serve`] — the epoch-versioned query plane: lock-free snapshot
 //!   store, in-process [`QueryHandle`](ebv_serve::QueryHandle) and the
 //!   `GET /query/*` routes (`ebv-serve`)
+//! * [`state`] — the durable state plane: write-ahead mutation log,
+//!   epoch checkpoints and crash-at-any-point recovery (`ebv-state`)
 //!
 //! See the workspace README for the quickstart and the experiment index.
 
@@ -32,4 +34,5 @@ pub use ebv_graph as graph;
 pub use ebv_obs as obs;
 pub use ebv_partition as partition;
 pub use ebv_serve as serve;
+pub use ebv_state as state;
 pub use ebv_stream as stream;
